@@ -1,0 +1,123 @@
+// Command perfbench regenerates Figure 7: the impact of WA reduction on
+// end-to-end I/O performance, replaying the paper's two representative
+// 500 GB-class traces (#52, lowest WA; #144, highest WA) on the timing
+// model. Phase 1 stress-loads the trace with 32 closed-loop workers and
+// reports per-drive-write bandwidth; phase 2 replays a timed tail open-loop
+// and reports the write-latency distribution.
+//
+// Usage:
+//
+//	perfbench [-dw 10] [-traces "#52,#144"] [-pages 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/phftl/phftl/internal/perfsim"
+	"github.com/phftl/phftl/internal/sim"
+	"github.com/phftl/phftl/internal/trace"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+func main() {
+	driveWrites := flag.Int("dw", 10, "drive writes in phase 1 (paper: ~19, then 1 timed)")
+	tracesFlag := flag.String("traces", "#52,#144", "trace IDs to replay")
+	pagesOverride := flag.Int("pages", 8192, "override drive size in pages (0 = profile default); timing replay is slower than WA-only replay")
+	iaPerPage := flag.Float64("iapp", 700, "phase-2 mean inter-arrival per written page, µs")
+	flag.Parse()
+
+	for _, id := range strings.Split(*tracesFlag, ",") {
+		p, ok := workload.ProfileByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown trace %q\n", id)
+			os.Exit(1)
+		}
+		if *pagesOverride > 0 {
+			p.ExportedPages = *pagesOverride
+		}
+		// Scale the open-loop arrival rate to the profile's mean request
+		// size so every trace presents the same page rate in phase 2.
+		probe := p.NewGenerator()
+		sample := probe.Records(4096)
+		writeReqs := 0
+		for _, r := range sample {
+			if r.Op == trace.OpWrite {
+				writeReqs++
+			}
+		}
+		avgPages := float64(probe.PageWrites()) / float64(writeReqs)
+		p.InterArrivalUS = *iaPerPage * avgPages
+		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+		fmt.Printf("=== trace %s (%s, %d pages) ===\n", p.ID, p.DriveClass, p.ExportedPages)
+
+		type phaseOut struct {
+			bw    []perfsim.BandwidthPoint
+			stats perfsim.LatencyStats
+		}
+		results := map[sim.Scheme]phaseOut{}
+		for _, scheme := range []sim.Scheme{sim.SchemeBase, sim.SchemePHFTL} {
+			m, err := perfsim.NewMachine(scheme, geo, perfsim.DefaultTiming(), nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			gen := p.NewGenerator()
+			load := gen.Records(*driveWrites * p.ExportedPages)
+			bw, err := m.RunPhase1(load, p.PageSize, 32)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tail := gen.Records(p.ExportedPages / 2)
+			stats, err := m.RunPhase2(tail, p.PageSize)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			results[scheme] = phaseOut{bw: bw, stats: stats}
+		}
+
+		fmt.Println("phase 1: bandwidth per drive write (MB/s)")
+		fmt.Printf("  %-8s", "dw")
+		n := len(results[sim.SchemeBase].bw)
+		if m := len(results[sim.SchemePHFTL].bw); m < n {
+			n = m
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf(" %6d", i+1)
+		}
+		fmt.Println()
+		for _, scheme := range []sim.Scheme{sim.SchemeBase, sim.SchemePHFTL} {
+			name := "Stock"
+			if scheme == sim.SchemePHFTL {
+				name = "PHFTL-hw"
+			}
+			fmt.Printf("  %-8s", name)
+			for i := 0; i < n; i++ {
+				fmt.Printf(" %6.1f", results[scheme].bw[i].MBPerSec)
+			}
+			fmt.Println()
+		}
+		sb := results[sim.SchemeBase].bw[n-1].MBPerSec
+		pb := results[sim.SchemePHFTL].bw[n-1].MBPerSec
+		fmt.Printf("  last drive write: PHFTL-hw %+.1f%% vs stock\n", (pb/sb-1)*100)
+
+		fmt.Println("phase 2: write latency (ms)")
+		fmt.Printf("  %-8s %8s %8s %8s %8s %8s %8s\n", "", "P50", "P90", "P99", "P99.5", "P99.9", "Avg")
+		for _, scheme := range []sim.Scheme{sim.SchemeBase, sim.SchemePHFTL} {
+			name := "Stock"
+			if scheme == sim.SchemePHFTL {
+				name = "PHFTL-hw"
+			}
+			s := results[scheme].stats
+			fmt.Printf("  %-8s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+				name, s.P50, s.P90, s.P99, s.P995, s.P999, s.Avg)
+		}
+		sa := results[sim.SchemeBase].stats.Avg
+		pa := results[sim.SchemePHFTL].stats.Avg
+		fmt.Printf("  average latency: PHFTL-hw %+.1f%% vs stock\n\n", (pa/sa-1)*100)
+	}
+}

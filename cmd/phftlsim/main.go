@@ -1,0 +1,118 @@
+// Command phftlsim runs one trace — a named synthetic profile or an
+// external CSV trace (native or Alibaba layout, see internal/trace) — under
+// one scheme and prints the full measurement set: WA, GC activity, and for
+// PHFTL the classifier confusion, threshold and metadata-cache statistics.
+//
+// Usage:
+//
+//	phftlsim -trace "#52" [-scheme PHFTL] [-dw 20]
+//	phftlsim -csv mytrace.csv -pages 16384 [-scheme SepBIT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/sim"
+	"github.com/phftl/phftl/internal/trace"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+func main() {
+	traceID := flag.String("trace", "", "synthetic profile ID (e.g. #52)")
+	csvPath := flag.String("csv", "", "external CSV trace file")
+	pages := flag.Int("pages", 16384, "drive size in pages for -csv traces")
+	pageSize := flag.Int("pagesize", 16384, "page size in bytes for -csv traces")
+	schemeFlag := flag.String("scheme", "PHFTL", "Base, 2R, SepBIT or PHFTL")
+	driveWrites := flag.Int("dw", 20, "drive writes to replay (synthetic profiles)")
+	flag.Parse()
+
+	scheme := sim.Scheme(*schemeFlag)
+	var res sim.Result
+	var wear ftl.WearReport
+	var lifetime uint64
+	var err error
+	switch {
+	case *traceID != "":
+		p, ok := workload.ProfileByID(*traceID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown trace %q (have %d synthetic profiles)\n", *traceID, len(workload.Profiles()))
+			os.Exit(1)
+		}
+		fmt.Printf("trace %s (%s, %d pages x %d B), scheme %s, %d drive writes\n",
+			p.ID, p.DriveClass, p.ExportedPages, p.PageSize, scheme, *driveWrites)
+		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+		in, berr := sim.Build(scheme, geo, nil)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, berr)
+			os.Exit(1)
+		}
+		res, err = sim.RunOn(in, p, *driveWrites)
+		wear = in.FTL.Wear()
+		lifetime = in.FTL.LifetimeWrites(3000)
+	case *csvPath != "":
+		f, ferr := os.Open(*csvPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		records, rerr := trace.ReadCSV(f)
+		f.Close()
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		st := trace.Summarize(records)
+		fmt.Printf("csv trace %s: %d writes (%d MB), %d reads, scheme %s\n",
+			*csvPath, st.Writes, st.WriteBytes>>20, st.Reads, scheme)
+		geo := sim.GeometryForDrive(*pages, *pageSize)
+		in, berr := sim.Build(scheme, geo, nil)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, berr)
+			os.Exit(1)
+		}
+		ops := trace.Expand(records, *pageSize, in.FTL.ExportedPages())
+		if err = in.Replay(ops); err == nil {
+			wear = in.FTL.Wear()
+			lifetime = in.FTL.LifetimeWrites(3000)
+			in.Finish()
+			res = sim.Result{
+				Profile: *csvPath, Scheme: scheme,
+				WA: in.FTL.Stats().WA(), DataWA: in.FTL.Stats().DataWA(),
+				FTLStats: in.FTL.Stats(),
+			}
+			if in.PHFTL != nil {
+				res.Confusion = in.PHFTL.Confusion()
+				res.MetaStats = in.PHFTL.MetaStats()
+				res.Threshold = in.PHFTL.Threshold()
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := res.FTLStats
+	fmt.Printf("\nwrite amplification    %.1f%% (data-only %.1f%%)\n", res.WA*100, res.DataWA*100)
+	fmt.Printf("user page writes       %d\n", s.UserPageWrites)
+	fmt.Printf("gc page migrations     %d (over %d victims, %d futile passes)\n", s.GCPageWrites, s.GCVictims, s.GCFutile)
+	fmt.Printf("meta page writes       %d\n", s.MetaPageWrites)
+	fmt.Printf("wear                   %d erases (max/block %d, imbalance %.2f)\n",
+		wear.TotalErases, wear.MaxErases, wear.ImbalanceRatio)
+	if lifetime > 0 {
+		fmt.Printf("endurance estimate     %d user page writes at 3K P/E cycles\n", lifetime)
+	}
+	if res.Confusion != nil {
+		fmt.Printf("classifier             %s\n", res.Confusion)
+		fmt.Printf("threshold              %.0f page-writes\n", res.Threshold)
+		ms := res.MetaStats
+		fmt.Printf("metadata cache         %.2f%% hit rate (%d hits, %d misses, %d open-buffer hits)\n",
+			ms.HitRate()*100, ms.CacheHits, ms.CacheMisses, ms.OpenHits)
+	}
+}

@@ -1,0 +1,66 @@
+// Command tracegen materializes one of the synthetic drive workloads as a
+// CSV block trace (native 4-field layout: timestamp_us,op,offset,size), so
+// it can be inspected, archived, or replayed through phftlsim -csv or other
+// tools.
+//
+// Usage:
+//
+//	tracegen -trace "#52" -dw 2 > t52.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/phftl/phftl/internal/trace"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+func main() {
+	traceID := flag.String("trace", "#52", "synthetic profile ID")
+	driveWrites := flag.Int("dw", 1, "drive writes worth of page writes to emit")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available profiles and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-7s %10s %8s %8s %8s %8s\n", "id", "class", "pages", "hot%", "seq%", "read%", "drift")
+		for _, p := range workload.Profiles() {
+			drift := "-"
+			if p.PhaseEvery > 0 {
+				drift = fmt.Sprintf("%d", p.PhaseEvery)
+			}
+			fmt.Printf("%-8s %-7s %10d %8.2f %8.2f %8.2f %8s\n",
+				p.ID, p.DriveClass, p.ExportedPages, p.HotFrac*100, p.SeqFrac*100, p.ReadFrac*100, drift)
+		}
+		return
+	}
+
+	p, ok := workload.ProfileByID(*traceID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown trace %q (use -list)\n", *traceID)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	gen := p.NewGenerator()
+	records := gen.Records(*driveWrites * p.ExportedPages)
+	if err := trace.WriteCSV(bw, records); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "emitted %d requests (%d page writes) for %s\n",
+		len(records), gen.PageWrites(), p.ID)
+}

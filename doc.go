@@ -1,0 +1,27 @@
+// Package phftl is a from-scratch reproduction of "Learning-based Data
+// Separation for Write Amplification Reduction in Solid State Drives"
+// (PHFTL, DAC 2023): a flash translation layer with device-side,
+// GRU-based page-lifetime prediction for data separation.
+//
+// The implementation lives under internal/:
+//
+//   - internal/nand      — NAND flash device simulator
+//   - internal/ftl       — FTL framework: L2P, superblocks, GC, policies
+//   - internal/ml        — GRU + BPTT, Adam, logistic regression, int8 quantization
+//   - internal/core      — PHFTL itself: classifier, adaptive labeling, metadata layout
+//   - internal/sepbit    — SepBIT baseline (FAST'22)
+//   - internal/tworegion — 2R baseline (VLDB'20)
+//   - internal/workload  — synthetic cloud-trace generators (20 profiles)
+//   - internal/trace     — trace model, CSV codec, lifetime annotation
+//   - internal/perfsim   — OpenSSD-class timing model (Figures 6 and 7)
+//   - internal/metrics   — WA, confusion, percentiles, CDF inflection
+//   - internal/sim       — experiment glue used by cmd/ and the benchmarks
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation
+// at reduced scale; the cmd/ harnesses run them at full (scaled) size.
+package phftl
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

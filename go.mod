@@ -1,0 +1,3 @@
+module github.com/phftl/phftl
+
+go 1.22

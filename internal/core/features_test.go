@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFeatureVectorShape(t *testing.T) {
+	fe := NewFeatureExtractor(1000, 64)
+	x := fe.Encode(nil, 5, 100, 4, true)
+	if len(x) != InputDim {
+		t.Fatalf("len = %d, want %d", len(x), InputDim)
+	}
+	for i, v := range x {
+		if v < 0 || v > 1 {
+			t.Errorf("x[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestFeaturesReflectChunkTraffic(t *testing.T) {
+	fe := NewFeatureExtractor(1000, 10)
+	// Pages 0-9 are chunk 0; pages 10-19 chunk 1.
+	for i := 0; i < 20; i++ {
+		fe.NoteWrite(3)
+	}
+	fe.NoteRead(15)
+	hotChunk := fe.Encode(nil, 7, 100, 1, false)   // same chunk as page 3
+	coldChunk := fe.Encode(nil, 25, 100, 1, false) // untouched chunk
+	// chunk_write digits live right after prev_lifetime + io_len + is_seq.
+	base := digitsPrevLifetime + digitsIOLen + 1
+	hotW := hotChunk[base]
+	coldW := coldChunk[base]
+	if hotW <= coldW {
+		t.Errorf("chunk_write digit: hot %v <= cold %v", hotW, coldW)
+	}
+}
+
+func TestIsSeqNeuron(t *testing.T) {
+	fe := NewFeatureExtractor(100, 10)
+	seqPos := digitsPrevLifetime + digitsIOLen
+	if x := fe.Encode(nil, 0, 1, 1, true); x[seqPos] != 1 {
+		t.Error("seq bit not set")
+	}
+	if x := fe.Encode(nil, 0, 1, 1, false); x[seqPos] != 0 {
+		t.Error("seq bit set for non-sequential write")
+	}
+}
+
+func TestRWRatio(t *testing.T) {
+	fe := NewFeatureExtractor(100, 10)
+	if fe.RWRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	fe.NoteRead(0)
+	fe.NoteRead(0)
+	fe.NoteWrite(0)
+	fe.NoteWrite(0)
+	if got := fe.RWRatio(); got != 0.5 {
+		t.Errorf("ratio = %v", got)
+	}
+}
+
+func TestDecayHalvesCounters(t *testing.T) {
+	fe := NewFeatureExtractor(100, 10)
+	for i := 0; i < 8; i++ {
+		fe.NoteWrite(0)
+		fe.NoteRead(0)
+	}
+	fe.Decay()
+	if fe.chunkW[0] != 4 || fe.chunkR[0] != 4 {
+		t.Errorf("chunk counters after decay = %d/%d", fe.chunkW[0], fe.chunkR[0])
+	}
+	if fe.reads != 4 || fe.writes != 4 {
+		t.Errorf("globals after decay = %d/%d", fe.reads, fe.writes)
+	}
+}
+
+func TestPrevLifetimeSaturates(t *testing.T) {
+	fe := NewFeatureExtractor(100, 10)
+	x := fe.Encode(nil, 0, MaxLifetimeFeature+5, 1, false)
+	for i := 0; i < digitsPrevLifetime; i++ {
+		if x[i] != 1 {
+			t.Errorf("digit %d = %v, want saturated", i, x[i])
+		}
+	}
+}
+
+func TestChunkPagesFloor(t *testing.T) {
+	fe := NewFeatureExtractor(10, 0) // clamps to 1 page per chunk
+	fe.NoteWrite(9)                  // must not panic
+	if fe.chunkW[9] != 1 {
+		t.Error("chunk accounting broken at floor")
+	}
+}

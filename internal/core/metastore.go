@@ -1,0 +1,308 @@
+// Package core implements PHFTL, the paper's contribution: a flash
+// translation layer with device-side learning-based data separation. It
+// provides the Page Classifier (a GRU sequence model predicting whether each
+// written page is short- or long-living, §III-B), the adaptive labeling and
+// classification-threshold adjustment algorithm (Algorithm 1), the host-side
+// Model Trainer, the flash metadata layout with its RAM metadata cache
+// (§III-C), and the ftl.Separator gluing it all into the FTL framework with
+// the Adjusted Greedy GC policy (§III-D).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/rbtree"
+)
+
+// HiddenBytes is the size of the cached, 8-bit-quantized GRU hidden state
+// per page (the paper's 32 B for a 32-neuron hidden layer).
+const HiddenBytes = 32
+
+// EntrySize is the per-page ML metadata footprint: 4 B last-write timestamp
+// plus the quantized hidden state (the paper's 36 B, §III-C).
+const EntrySize = 4 + HiddenBytes
+
+// Entry is one page's ML metadata.
+type Entry struct {
+	// LastWrite is the virtual-clock value just *after* the page's last
+	// write, 1-based: 0 means the page has never been written.
+	LastWrite uint32
+	// Hidden is the cached GRU hidden state after the last prediction.
+	Hidden [HiddenBytes]int8
+}
+
+// EncodeEntry serializes an entry into dst (little-endian timestamp followed
+// by the hidden state) and returns the EntrySize-byte slice.
+func EncodeEntry(dst []byte, e Entry) []byte {
+	if cap(dst) < EntrySize {
+		dst = make([]byte, EntrySize)
+	}
+	dst = dst[:EntrySize]
+	binary.LittleEndian.PutUint32(dst, e.LastWrite)
+	for i, v := range e.Hidden {
+		dst[4+i] = byte(v)
+	}
+	return dst
+}
+
+// DecodeEntry parses an entry from buf. Short or nil buffers decode to the
+// zero entry (never-written), tolerating schemes that programmed no OOB.
+func DecodeEntry(buf []byte) Entry {
+	var e Entry
+	if len(buf) < EntrySize {
+		return e
+	}
+	e.LastWrite = binary.LittleEndian.Uint32(buf)
+	for i := range e.Hidden {
+		e.Hidden[i] = int8(buf[4+i])
+	}
+	return e
+}
+
+// MetaLayout computes the split of a superblock into data pages and tail
+// meta pages such that the meta pages can hold one EntrySize record per data
+// page (§III-C, Figure 4). entriesPerPage is how many records fit in one
+// flash page.
+func MetaLayout(pagesPerSB, pageSize int) (dataPages, metaPages, entriesPerPage int) {
+	entriesPerPage = pageSize / EntrySize
+	if entriesPerPage < 1 {
+		entriesPerPage = 1
+	}
+	metaPages = 0
+	for {
+		dataPages = pagesPerSB - metaPages
+		need := (dataPages + entriesPerPage - 1) / entriesPerPage
+		if need <= metaPages || dataPages <= 1 {
+			return dataPages, metaPages, entriesPerPage
+		}
+		metaPages++
+	}
+}
+
+// FlashReader reads meta-page payloads from flash; the FTL implements it.
+type FlashReader interface {
+	ReadMetaPage(ppn nand.PPN) ([]byte, error)
+}
+
+// MetaStats counts metadata-retrieval outcomes.
+type MetaStats struct {
+	CacheHits   uint64 // served from the RAM meta-page cache
+	CacheMisses uint64 // required a flash meta-page read
+	OpenHits    uint64 // served from an open superblock's RAM buffer
+	Defaults    uint64 // never-written pages (no metadata exists)
+}
+
+// HitRate returns the fraction of flash-backed retrievals served from RAM
+// (the paper reports 98.2%–99.9%).
+func (s MetaStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// cacheEnt is one cached meta page plus its LRU linkage (intrusive doubly
+// linked list; head = most recent).
+type cacheEnt struct {
+	mppn       nand.PPN
+	buf        []byte
+	prev, next *cacheEnt
+}
+
+// MetaStore implements PHFTL's metadata management: entries for open
+// superblocks accumulate in RAM buffers; when a superblock closes they are
+// sealed into its tail meta pages; reads of closed-superblock metadata go
+// through an on-demand RAM cache of meta pages, indexed by MPPN with a
+// red-black tree and evicted LRU (§III-C, Figure 4).
+type MetaStore struct {
+	geo            nand.Geometry
+	dataPages      int
+	metaPages      int
+	entriesPerPage int
+	reader         FlashReader
+
+	openBufs map[int][]Entry // superblock -> per-offset entries
+
+	cache    *rbtree.Tree[nand.PPN, *cacheEnt]
+	lruHead  *cacheEnt
+	lruTail  *cacheEnt
+	capacity int
+
+	stats MetaStats
+}
+
+// NewMetaStore builds a metadata store for the geometry. cacheFrac is the
+// RAM cache capacity as a fraction of the device's meta-page count (paper:
+// 1%), floored at 4 pages.
+func NewMetaStore(geo nand.Geometry, dataPages, metaPages, entriesPerPage int, cacheFrac float64, reader FlashReader) *MetaStore {
+	totalMeta := geo.Superblocks() * metaPages
+	capPages := int(cacheFrac * float64(totalMeta))
+	if capPages < 4 {
+		capPages = 4
+	}
+	return &MetaStore{
+		geo:            geo,
+		dataPages:      dataPages,
+		metaPages:      metaPages,
+		entriesPerPage: entriesPerPage,
+		reader:         reader,
+		openBufs:       make(map[int][]Entry),
+		cache:          rbtree.New[nand.PPN, *cacheEnt](),
+		capacity:       capPages,
+	}
+}
+
+// Stats returns retrieval statistics.
+func (m *MetaStore) Stats() MetaStats { return m.stats }
+
+// CacheCapacity returns the cache capacity in meta pages.
+func (m *MetaStore) CacheCapacity() int { return m.capacity }
+
+// CacheLen returns the number of currently cached meta pages.
+func (m *MetaStore) CacheLen() int { return m.cache.Len() }
+
+// MPPNFor returns the meta-page PPN holding the entry of the data page at
+// ppn.
+func (m *MetaStore) MPPNFor(ppn nand.PPN) nand.PPN {
+	sb := m.geo.SuperblockOf(ppn)
+	off := m.geo.SuperblockOffset(ppn)
+	return m.geo.SuperblockPPN(sb, m.dataPages+off/m.entriesPerPage)
+}
+
+// Get retrieves the metadata entry for a logical page currently stored at
+// ppn (its L2P mapping). InvalidPPN returns the zero entry (never written).
+func (m *MetaStore) Get(ppn nand.PPN) (Entry, error) {
+	if ppn == nand.InvalidPPN {
+		m.stats.Defaults++
+		return Entry{}, nil
+	}
+	sb := m.geo.SuperblockOf(ppn)
+	off := m.geo.SuperblockOffset(ppn)
+	if buf, ok := m.openBufs[sb]; ok {
+		m.stats.OpenHits++
+		return buf[off], nil
+	}
+	mppn := m.geo.SuperblockPPN(sb, m.dataPages+off/m.entriesPerPage)
+	page, err := m.metaPage(mppn)
+	if err != nil {
+		return Entry{}, err
+	}
+	idx := (off % m.entriesPerPage) * EntrySize
+	if idx+EntrySize > len(page) {
+		return Entry{}, fmt.Errorf("core: meta page %d too short for entry %d", mppn, off)
+	}
+	return DecodeEntry(page[idx:]), nil
+}
+
+func (m *MetaStore) metaPage(mppn nand.PPN) ([]byte, error) {
+	if ent, ok := m.cache.Get(mppn); ok {
+		m.stats.CacheHits++
+		m.lruTouch(ent)
+		return ent.buf, nil
+	}
+	m.stats.CacheMisses++
+	data, err := m.reader.ReadMetaPage(mppn)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta page read %d: %w", mppn, err)
+	}
+	buf := append([]byte(nil), data...) // copy out of device memory
+	ent := &cacheEnt{mppn: mppn, buf: buf}
+	m.cache.Put(mppn, ent)
+	m.lruPush(ent)
+	for m.cache.Len() > m.capacity {
+		m.evictLRU()
+	}
+	return buf, nil
+}
+
+func (m *MetaStore) lruPush(e *cacheEnt) {
+	e.prev = nil
+	e.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = e
+	}
+	m.lruHead = e
+	if m.lruTail == nil {
+		m.lruTail = e
+	}
+}
+
+func (m *MetaStore) lruUnlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (m *MetaStore) lruTouch(e *cacheEnt) {
+	if m.lruHead == e {
+		return
+	}
+	m.lruUnlink(e)
+	m.lruPush(e)
+}
+
+func (m *MetaStore) evictLRU() {
+	victim := m.lruTail
+	if victim == nil {
+		return
+	}
+	m.lruUnlink(victim)
+	m.cache.Delete(victim.mppn)
+}
+
+// Put records the metadata entry for a data page just programmed at ppn in
+// its (open) superblock's RAM buffer.
+func (m *MetaStore) Put(ppn nand.PPN, e Entry) {
+	sb := m.geo.SuperblockOf(ppn)
+	buf, ok := m.openBufs[sb]
+	if !ok {
+		buf = make([]Entry, m.dataPages)
+		m.openBufs[sb] = buf
+	}
+	buf[m.geo.SuperblockOffset(ppn)] = e
+}
+
+// Seal serializes an open superblock's buffered entries into its tail meta
+// pages and releases the RAM buffer. The FTL programs the returned buffers.
+func (m *MetaStore) Seal(sb int) [][]byte {
+	buf := m.openBufs[sb]
+	delete(m.openBufs, sb)
+	pages := make([][]byte, m.metaPages)
+	for p := range pages {
+		page := make([]byte, m.entriesPerPage*EntrySize)
+		for i := 0; i < m.entriesPerPage; i++ {
+			off := p*m.entriesPerPage + i
+			var e Entry
+			if buf != nil && off < len(buf) {
+				e = buf[off]
+			}
+			EncodeEntry(page[i*EntrySize:i*EntrySize:(i+1)*EntrySize], e)
+		}
+		pages[p] = page
+	}
+	return pages
+}
+
+// DropSB invalidates cached meta pages of an erased superblock: their MPPNs
+// are about to be reused with fresh contents.
+func (m *MetaStore) DropSB(sb int) {
+	delete(m.openBufs, sb)
+	for p := 0; p < m.metaPages; p++ {
+		mppn := m.geo.SuperblockPPN(sb, m.dataPages+p)
+		if ent, ok := m.cache.Get(mppn); ok {
+			m.lruUnlink(ent)
+			m.cache.Delete(mppn)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/phftl/phftl/internal/nand"
+)
+
+func TestMetaLayout(t *testing.T) {
+	// 16 KiB pages hold 455 36-byte entries; a 256-page superblock needs
+	// ceil(255/455) = 1 meta page.
+	data, meta, epp := MetaLayout(256, 16384)
+	if epp != 16384/EntrySize {
+		t.Errorf("entriesPerPage = %d", epp)
+	}
+	if meta != 1 || data != 255 {
+		t.Errorf("layout = %d data + %d meta", data, meta)
+	}
+	// Every data page must have an entry slot.
+	if data > meta*epp {
+		t.Errorf("meta pages hold %d entries for %d data pages", meta*epp, data)
+	}
+}
+
+func TestMetaLayoutProperty(t *testing.T) {
+	f := func(rawSB, rawPS uint16) bool {
+		pagesPerSB := int(rawSB%512) + 2
+		pageSize := (int(rawPS%64) + 1) * 256 // 256B..16KiB
+		data, meta, epp := MetaLayout(pagesPerSB, pageSize)
+		if data+meta != pagesPerSB || data < 1 {
+			return false
+		}
+		// Either the meta region covers all data pages, or the layout hit
+		// the degenerate floor (data == 1).
+		return data <= meta*epp || data == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	var e Entry
+	e.LastWrite = 0xDEADBEEF
+	for i := range e.Hidden {
+		e.Hidden[i] = int8(i - 16)
+	}
+	buf := EncodeEntry(nil, e)
+	if len(buf) != EntrySize {
+		t.Fatalf("len = %d", len(buf))
+	}
+	got := DecodeEntry(buf)
+	if got != e {
+		t.Fatalf("round trip: got %+v want %+v", got, e)
+	}
+	// Short and nil buffers decode to the zero entry.
+	if DecodeEntry(nil) != (Entry{}) || DecodeEntry(buf[:10]) != (Entry{}) {
+		t.Error("short buffers must decode to zero entry")
+	}
+}
+
+func TestEntryRoundTripProperty(t *testing.T) {
+	f := func(lw uint32, h [HiddenBytes]int8) bool {
+		e := Entry{LastWrite: lw, Hidden: h}
+		return DecodeEntry(EncodeEntry(nil, e)) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeReader serves meta pages from a map and counts reads.
+type fakeReader struct {
+	pages map[nand.PPN][]byte
+	reads int
+}
+
+func (f *fakeReader) ReadMetaPage(ppn nand.PPN) ([]byte, error) {
+	f.reads++
+	buf, ok := f.pages[ppn]
+	if !ok {
+		return nil, fmt.Errorf("fake: no page %d", ppn)
+	}
+	return buf, nil
+}
+
+func metaTestGeo() nand.Geometry {
+	// 8 dies x 4 pages/block: 32-page superblocks; 1440-byte pages hold 40
+	// entries, so MetaLayout gives 31 data + 1 meta.
+	return nand.Geometry{PageSize: 1440, OOBSize: 64, PagesPerBlock: 4, BlocksPerDie: 64, Dies: 8}
+}
+
+func TestMetaStoreOpenBufferAndSeal(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	rd := &fakeReader{pages: map[nand.PPN][]byte{}}
+	ms := NewMetaStore(geo, data, meta, epp, 0.01, rd)
+
+	// Fill superblock 3's data region with entries.
+	want := make([]Entry, data)
+	for off := 0; off < data; off++ {
+		e := Entry{LastWrite: uint32(off + 1)}
+		e.Hidden[0] = int8(off % 100)
+		want[off] = e
+		ms.Put(geo.SuperblockPPN(3, off), e)
+	}
+	// While open, Get serves from the RAM buffer with no flash reads.
+	for off := 0; off < data; off++ {
+		got, err := ms.Get(geo.SuperblockPPN(3, off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[off] {
+			t.Fatalf("open get off %d: %+v != %+v", off, got, want[off])
+		}
+	}
+	if rd.reads != 0 {
+		t.Fatalf("open gets caused %d flash reads", rd.reads)
+	}
+	if ms.Stats().OpenHits != uint64(data) {
+		t.Errorf("open hits = %d", ms.Stats().OpenHits)
+	}
+
+	// Seal: entries now live in meta pages.
+	pages := ms.Seal(3)
+	if len(pages) != meta {
+		t.Fatalf("sealed %d pages, want %d", len(pages), meta)
+	}
+	for i, buf := range pages {
+		rd.pages[geo.SuperblockPPN(3, data+i)] = buf
+	}
+	// First access misses (flash read), subsequent entries in the same meta
+	// page hit the cache — the paper's batching locality.
+	for off := 0; off < data; off++ {
+		got, err := ms.Get(geo.SuperblockPPN(3, off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[off] {
+			t.Fatalf("closed get off %d: %+v != %+v", off, got, want[off])
+		}
+	}
+	if rd.reads != meta {
+		t.Fatalf("closed gets caused %d flash reads, want %d", rd.reads, meta)
+	}
+	s := ms.Stats()
+	if s.CacheMisses != uint64(meta) {
+		t.Errorf("misses = %d", s.CacheMisses)
+	}
+	if s.CacheHits != uint64(data-meta) {
+		t.Errorf("hits = %d, want %d", s.CacheHits, data-meta)
+	}
+	if hr := s.HitRate(); hr < 0.9 {
+		t.Errorf("hit rate = %.3f", hr)
+	}
+}
+
+func TestMetaStoreDefaultEntry(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	ms := NewMetaStore(geo, data, meta, epp, 0.01, &fakeReader{})
+	got, err := ms.Get(nand.InvalidPPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Entry{}) {
+		t.Errorf("default entry = %+v", got)
+	}
+	if ms.Stats().Defaults != 1 {
+		t.Errorf("defaults = %d", ms.Stats().Defaults)
+	}
+}
+
+func TestMetaStoreLRUEviction(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	rd := &fakeReader{pages: map[nand.PPN][]byte{}}
+	ms := NewMetaStore(geo, data, meta, epp, 0.0, rd) // floor: 4 pages
+	if ms.CacheCapacity() != 4 {
+		t.Fatalf("capacity = %d, want floor 4", ms.CacheCapacity())
+	}
+	// Seal 6 superblocks and touch one entry in each.
+	for sb := 0; sb < 6; sb++ {
+		ms.Put(geo.SuperblockPPN(sb, 0), Entry{LastWrite: uint32(sb + 1)})
+		for i, buf := range ms.Seal(sb) {
+			rd.pages[geo.SuperblockPPN(sb, data+i)] = buf
+		}
+	}
+	for sb := 0; sb < 6; sb++ {
+		if _, err := ms.Get(geo.SuperblockPPN(sb, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ms.CacheLen() > 4 {
+		t.Fatalf("cache len = %d exceeds capacity", ms.CacheLen())
+	}
+	// Superblock 0's meta page was evicted (LRU): re-access misses again.
+	before := rd.reads
+	if _, err := ms.Get(geo.SuperblockPPN(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if rd.reads != before+1 {
+		t.Error("expected a flash read after LRU eviction")
+	}
+	// Most-recent superblock 5 is still cached.
+	before = rd.reads
+	if _, err := ms.Get(geo.SuperblockPPN(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if rd.reads != before {
+		t.Error("expected a cache hit for the most recent meta page")
+	}
+}
+
+func TestMetaStoreDropSB(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	rd := &fakeReader{pages: map[nand.PPN][]byte{}}
+	ms := NewMetaStore(geo, data, meta, epp, 0.5, rd)
+	ms.Put(geo.SuperblockPPN(2, 0), Entry{LastWrite: 7})
+	for i, buf := range ms.Seal(2) {
+		rd.pages[geo.SuperblockPPN(2, data+i)] = buf
+	}
+	if _, err := ms.Get(geo.SuperblockPPN(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if ms.CacheLen() == 0 {
+		t.Fatal("expected cached page")
+	}
+	ms.DropSB(2)
+	if ms.CacheLen() != 0 {
+		t.Fatalf("cache len after drop = %d", ms.CacheLen())
+	}
+	// Re-access must read flash again (simulating post-erase reuse).
+	before := rd.reads
+	if _, err := ms.Get(geo.SuperblockPPN(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if rd.reads != before+1 {
+		t.Error("stale cache served after DropSB")
+	}
+}
+
+func TestMetaStoreSealUnknownSB(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	ms := NewMetaStore(geo, data, meta, epp, 0.01, &fakeReader{})
+	pages := ms.Seal(9) // never Put: all-zero entries
+	if len(pages) != meta {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if DecodeEntry(pages[0]) != (Entry{}) {
+		t.Error("expected zero entries for unwritten superblock")
+	}
+}
+
+func TestMPPNFor(t *testing.T) {
+	geo := metaTestGeo()
+	data, meta, epp := MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	ms := NewMetaStore(geo, data, meta, epp, 0.01, &fakeReader{})
+	// Entries 0..epp-1 share the first meta page.
+	first := ms.MPPNFor(geo.SuperblockPPN(1, 0))
+	if got := geo.SuperblockOf(first); got != 1 {
+		t.Errorf("meta page in sb %d", got)
+	}
+	if off := geo.SuperblockOffset(first); off != data {
+		t.Errorf("meta page at offset %d, want %d", off, data)
+	}
+	if epp > 1 {
+		second := ms.MPPNFor(geo.SuperblockPPN(1, 1))
+		if second != first {
+			t.Error("adjacent entries should share a meta page")
+		}
+	}
+}

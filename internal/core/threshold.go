@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/ml"
+)
+
+// ThresholdAdjuster implements the paper's Algorithm 1: at the end of each
+// write window it moves the classification threshold toward the direction
+// that improves prediction accuracy, probing three candidate thresholds
+// (the previous threshold's percentile ± an adaptive step) with lightweight
+// logistic-regression models, and seeding the very first window with the
+// inflection point of the lifetime CDF (Figure 2).
+type ThresholdAdjuster struct {
+	step         int // percentile step length, clamped to [1,10]
+	prev         float64
+	prevValid    bool
+	prevAdjusted bool
+	prevDir      int
+	seed         int64
+}
+
+// initialStep is Algorithm 1's initialization of the adjustment step.
+const initialStep = 5
+
+// NewThresholdAdjuster returns an adjuster with the paper's initial state.
+// seed makes the logistic-regression probes deterministic.
+func NewThresholdAdjuster(seed int64) *ThresholdAdjuster {
+	return &ThresholdAdjuster{step: initialStep, seed: seed}
+}
+
+// Current returns the threshold chosen at the last window (0 before any
+// window completed).
+func (ta *ThresholdAdjuster) Current() float64 {
+	if !ta.prevValid {
+		return 0
+	}
+	return ta.prev
+}
+
+// Step returns the current adjustment step (exported for ablation benches).
+func (ta *ThresholdAdjuster) Step() int { return ta.step }
+
+// probeSample is one training example for the probes: the features of the
+// write and the observed (or censored) lifetime.
+type probeSample struct {
+	feat     []float64
+	lifetime float64
+	censored bool // page not overwritten; lifetime is elapsed time so far
+}
+
+// labelAndResample labels samples against threshold t (1 = short-living) and
+// balances classes by undersampling, following Algorithm 1's
+// LabelAndResample. Censored samples whose elapsed time has not yet exceeded
+// t are unknowable and skipped.
+func labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, []int) {
+	var posF, negF [][]float64
+	for i := range samples {
+		s := &samples[i]
+		if s.lifetime < t {
+			if s.censored {
+				continue // might still die before t; label unknown
+			}
+			posF = append(posF, s.feat)
+		} else {
+			negF = append(negF, s.feat)
+		}
+	}
+	n := len(posF)
+	if len(negF) < n {
+		n = len(negF)
+	}
+	if cap > 0 && n > cap {
+		n = cap
+	}
+	feats := make([][]float64, 0, 2*n)
+	labels := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		feats = append(feats, posF[i], negF[i])
+		labels = append(labels, 1, 0)
+	}
+	return feats, labels
+}
+
+// Pick runs one window's threshold adjustment. lifetimes are the window's
+// resolved lifetime samples; samples are the probe training examples. It
+// returns the new threshold and updates the adjuster's state.
+func (ta *ThresholdAdjuster) Pick(lifetimes []float64, samples []probeSample) float64 {
+	if len(lifetimes) == 0 {
+		// Nothing observed this window: keep the previous threshold.
+		return ta.Current()
+	}
+	if !ta.prevValid {
+		v, _ := metrics.InflectionPoint(lifetimes)
+		ta.prev = v
+		ta.prevValid = true
+		return v
+	}
+	sort.Float64s(lifetimes)
+	p := metrics.PercentileOfValue(lifetimes, ta.prev)
+
+	// Evaluate the stay-put candidate first: when several candidates yield
+	// identical labelings (flat accuracy landscape), ties must keep the
+	// current threshold, or the walk drifts systematically in whichever
+	// direction happens to be evaluated first.
+	bestAccu := math.Inf(-1)
+	bestT := ta.prev
+	bestDir := 0
+	for _, dir := range []int{0, -1, 1} {
+		t := metrics.ValueAtPercentile(lifetimes, p+float64(dir*ta.step))
+		if dir != 0 && t == bestT {
+			continue // percentile step collapsed onto the same value
+		}
+		feats, labels := labelAndResample(samples, t, 2048)
+		if len(feats) == 0 {
+			continue
+		}
+		accu := ml.TrainEvalLogReg(feats, labels, ta.seed)
+		if accu > bestAccu {
+			bestAccu = accu
+			bestT = t
+			bestDir = dir
+		}
+	}
+	if math.IsInf(bestAccu, -1) {
+		// No candidate had both classes; threshold unchanged this window.
+		bestT = ta.prev
+		bestDir = 0
+	}
+
+	// Adaptive step refinement (Algorithm 1's tail).
+	adjusted := bestDir != 0
+	switch {
+	case !ta.prevAdjusted && !adjusted:
+		ta.step++ // stuck: widen to escape a local optimum
+	case ta.prevAdjusted && !adjusted:
+		ta.step-- // settled: try a finer step
+	case ta.prevAdjusted && adjusted && ta.prevDir != bestDir:
+		ta.step-- // fluctuating: damp
+	case ta.prevAdjusted && adjusted && ta.prevDir == bestDir:
+		ta.step++ // consistent direction: accelerate
+	}
+	if ta.step > 10 {
+		ta.step = 10
+	}
+	if ta.step < 1 {
+		ta.step = 1
+	}
+	ta.prevAdjusted = adjusted
+	ta.prevDir = bestDir
+	ta.prev = bestT
+	return bestT
+}

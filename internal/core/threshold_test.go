@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bimodal builds lifetime samples with a short cluster around shortMean and
+// a long tail around longMean, plus probe samples whose first feature
+// perfectly separates the two groups (so the LR probes can rank candidate
+// thresholds meaningfully).
+func bimodal(rng *rand.Rand, n int, shortFrac float64, shortMean, longMean float64) ([]float64, []probeSample) {
+	var lifetimes []float64
+	var probes []probeSample
+	for i := 0; i < n; i++ {
+		short := rng.Float64() < shortFrac
+		var life float64
+		if short {
+			life = shortMean * (0.5 + rng.Float64())
+		} else {
+			life = longMean * (0.5 + rng.Float64())
+		}
+		lifetimes = append(lifetimes, life)
+		feat := []float64{0, rng.Float64()}
+		if short {
+			feat[0] = 1
+		}
+		probes = append(probes, probeSample{feat: feat, lifetime: life})
+	}
+	return lifetimes, probes
+}
+
+func TestFirstWindowUsesInflectionPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lifetimes, probes := bimodal(rng, 500, 0.7, 20, 5000)
+	ta := NewThresholdAdjuster(1)
+	if ta.Current() != 0 {
+		t.Error("initial threshold should be 0")
+	}
+	got := ta.Pick(lifetimes, probes)
+	// The inflection point must land at the knee: above the bulk of the
+	// short cluster ([10,30]) and below the long tail ([2500,7500]).
+	if got < 25 || got > 2500 {
+		t.Fatalf("first-window threshold = %v, want near the knee", got)
+	}
+	if ta.Current() != got {
+		t.Error("Current() does not track the picked threshold")
+	}
+}
+
+func TestAdjustmentTracksSeparationBoundary(t *testing.T) {
+	// Feed several windows where the ideal boundary sits between the
+	// clusters; the adjuster must stay in the gap and not drift into either
+	// cluster.
+	rng := rand.New(rand.NewSource(2))
+	ta := NewThresholdAdjuster(2)
+	var got float64
+	for w := 0; w < 10; w++ {
+		lifetimes, probes := bimodal(rng, 400, 0.6, 20, 5000)
+		got = ta.Pick(lifetimes, probes)
+	}
+	if got < 30 || got > 2600 {
+		t.Fatalf("threshold after 10 windows = %v, want inside the gap", got)
+	}
+}
+
+func TestStepStaysClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ta := NewThresholdAdjuster(3)
+	for w := 0; w < 30; w++ {
+		lifetimes, probes := bimodal(rng, 200, 0.5, 10, 1000)
+		ta.Pick(lifetimes, probes)
+		if s := ta.Step(); s < 1 || s > 10 {
+			t.Fatalf("window %d: step = %d outside [1,10]", w, s)
+		}
+	}
+}
+
+func TestEmptyWindowKeepsThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ta := NewThresholdAdjuster(4)
+	lifetimes, probes := bimodal(rng, 300, 0.5, 10, 1000)
+	first := ta.Pick(lifetimes, probes)
+	got := ta.Pick(nil, nil)
+	if got != first {
+		t.Fatalf("empty window changed threshold: %v -> %v", first, got)
+	}
+}
+
+func TestLabelAndResample(t *testing.T) {
+	samples := []probeSample{
+		{feat: []float64{1}, lifetime: 5},                  // short
+		{feat: []float64{2}, lifetime: 6},                  // short
+		{feat: []float64{3}, lifetime: 100},                // long
+		{feat: []float64{4}, lifetime: 7, censored: true},  // unknown at t=10
+		{feat: []float64{5}, lifetime: 50, censored: true}, // long at t=10
+	}
+	feats, labels := labelAndResample(samples, 10, 0)
+	if len(feats) != len(labels) {
+		t.Fatal("length mismatch")
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != neg {
+		t.Errorf("unbalanced: %d pos, %d neg", pos, neg)
+	}
+	if pos != 2 {
+		t.Errorf("pos = %d, want 2 (censored short-side sample must be skipped)", pos)
+	}
+	// Cap applies per class.
+	feats, _ = labelAndResample(samples, 10, 1)
+	if len(feats) != 2 {
+		t.Errorf("capped len = %d, want 2", len(feats))
+	}
+}
+
+func TestSingleClassWindowKeepsThreshold(t *testing.T) {
+	ta := NewThresholdAdjuster(5)
+	rng := rand.New(rand.NewSource(5))
+	lifetimes, probes := bimodal(rng, 300, 0.5, 10, 1000)
+	first := ta.Pick(lifetimes, probes)
+	// A window where every sample is long-living relative to any candidate:
+	// all candidates collapse to the same degenerate labeling.
+	var lifetimes2 []float64
+	var probes2 []probeSample
+	for i := 0; i < 50; i++ {
+		lifetimes2 = append(lifetimes2, 1e6+float64(i))
+		probes2 = append(probes2, probeSample{feat: []float64{1, 0}, lifetime: 1e6 + float64(i)})
+	}
+	got := ta.Pick(lifetimes2, probes2)
+	// Threshold may move to a candidate value, but must remain finite and
+	// positive; and the adjuster must not crash on degenerate input.
+	if got <= 0 {
+		t.Fatalf("degenerate window produced threshold %v (first was %v)", got, first)
+	}
+}

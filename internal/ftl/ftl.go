@@ -1,0 +1,578 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/nand"
+)
+
+// Config parameterizes an FTL instance.
+type Config struct {
+	Geometry nand.Geometry
+
+	// OPRatio is the over-provisioning ratio: the exported logical capacity
+	// is data capacity / (1 + OPRatio). The paper uses 7%.
+	OPRatio float64
+
+	// GCWatermark triggers GC after a write when the fraction of free
+	// superblocks falls to or below this value. The paper uses 5%.
+	GCWatermark float64
+
+	// MetaPagesPerSB reserves tail pages of every superblock for
+	// scheme-managed metadata (PHFTL's meta pages). 0 for schemes without
+	// flash-resident metadata.
+	MetaPagesPerSB int
+
+	// MaxGCClass caps the per-page GC count used for GC-write separation
+	// (paper: pages GC'ed five times or more share a superblock).
+	MaxGCClass int
+
+	// CountHostReads charges host reads as flash reads on the device.
+	// WA-only experiments leave it false for speed; timing models set it.
+	CountHostReads bool
+}
+
+// DefaultConfig returns the paper's parameters for a given geometry.
+func DefaultConfig(geo nand.Geometry) Config {
+	return Config{
+		Geometry:    geo,
+		OPRatio:     0.07,
+		GCWatermark: 0.05,
+		MaxGCClass:  5,
+	}
+}
+
+// SuperblockState is the lifecycle state of a superblock.
+type SuperblockState uint8
+
+const (
+	// SBFree means the superblock is erased and on the free list.
+	SBFree SuperblockState = iota
+	// SBOpen means the superblock is accepting writes for one stream.
+	SBOpen
+	// SBClosed means the superblock is full and awaiting GC.
+	SBClosed
+)
+
+type superblock struct {
+	state      SuperblockState
+	stream     int
+	gcClass    int
+	writePtr   int // next data-region allocation offset
+	valid      int // valid data pages
+	openClock  uint64
+	closeClock uint64
+}
+
+// Stats aggregates FTL activity. Page counts are in pages.
+type Stats struct {
+	UserPageWrites uint64 // U: host-written pages
+	GCPageWrites   uint64 // valid-page migrations
+	MetaPageWrites uint64 // scheme meta-page programs
+	HostPageReads  uint64
+	GCPageReads    uint64
+	GCVictims      uint64 // superblocks collected
+	GCFutile       uint64 // GC passes that found no victim with invalid pages
+	Trims          uint64
+}
+
+// FlashPageWrites returns F: every page programmed to flash (user + GC +
+// meta).
+func (s Stats) FlashPageWrites() uint64 {
+	return s.UserPageWrites + s.GCPageWrites + s.MetaPageWrites
+}
+
+// WA returns the paper's write amplification (F−U)/U including meta-page
+// writes in F.
+func (s Stats) WA() float64 {
+	return metrics.WriteAmp(s.FlashPageWrites(), s.UserPageWrites)
+}
+
+// DataWA returns (F−U)/U counting only data-page writes, isolating GC
+// amplification from metadata overhead.
+func (s Stats) DataWA() float64 {
+	return metrics.WriteAmp(s.UserPageWrites+s.GCPageWrites, s.UserPageWrites)
+}
+
+// Errors returned by the FTL.
+var (
+	ErrLPNRange    = errors.New("ftl: LPN beyond exported capacity")
+	ErrNoFreeSpace = errors.New("ftl: free superblock pool exhausted")
+	ErrUnmapped    = errors.New("ftl: read of unmapped LPN")
+)
+
+// FTL is the flash translation layer engine. It is not safe for concurrent
+// use.
+type FTL struct {
+	cfg    Config
+	dev    *nand.Device
+	sep    Separator
+	policy VictimPolicy
+
+	l2p       []nand.PPN
+	sbs       []superblock
+	free      []int // free superblock IDs (LIFO)
+	open      []int // stream -> open superblock ID, -1 if none
+	dataPages int   // data pages per superblock
+	exported  int   // exported logical pages
+	minFree   int   // hard GC floor: always keep this many free superblocks
+
+	clock uint64 // virtual time: user pages written
+	stats Stats
+}
+
+// New assembles an FTL over a fresh device.
+func New(cfg Config, sep Separator, policy VictimPolicy) (*FTL, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := nand.NewDevice(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithDevice(cfg, dev, sep, policy)
+}
+
+// NewWithDevice assembles an FTL over an existing (fresh) device, letting
+// callers install device hooks first.
+func NewWithDevice(cfg Config, dev *nand.Device, sep Separator, policy VictimPolicy) (*FTL, error) {
+	geo := cfg.Geometry
+	dataPages := geo.PagesPerSuperblock() - cfg.MetaPagesPerSB
+	if dataPages <= 0 {
+		return nil, fmt.Errorf("ftl: MetaPagesPerSB %d leaves no data pages (superblock has %d)",
+			cfg.MetaPagesPerSB, geo.PagesPerSuperblock())
+	}
+	if cfg.OPRatio < 0 {
+		return nil, fmt.Errorf("ftl: negative OPRatio %v", cfg.OPRatio)
+	}
+	if cfg.GCWatermark <= 0 || cfg.GCWatermark >= 1 {
+		return nil, fmt.Errorf("ftl: GCWatermark %v outside (0,1)", cfg.GCWatermark)
+	}
+	if cfg.MaxGCClass < 1 {
+		cfg.MaxGCClass = 1
+	}
+	totalData := geo.Superblocks() * dataPages
+	exported := int(float64(totalData) / (1 + cfg.OPRatio))
+	if exported < 1 {
+		return nil, fmt.Errorf("ftl: configuration exports no capacity")
+	}
+	if sep.NumStreams() < 1 {
+		return nil, fmt.Errorf("ftl: separator %q declares %d streams", sep.Name(), sep.NumStreams())
+	}
+	if geo.Superblocks() < 2*(sep.NumStreams()+2) {
+		return nil, fmt.Errorf("ftl: %d streams need at least %d superblocks, geometry provides %d",
+			sep.NumStreams(), 2*(sep.NumStreams()+2), geo.Superblocks())
+	}
+	f := &FTL{
+		cfg:       cfg,
+		dev:       dev,
+		sep:       sep,
+		policy:    policy,
+		l2p:       make([]nand.PPN, exported),
+		sbs:       make([]superblock, geo.Superblocks()),
+		open:      make([]int, sep.NumStreams()),
+		dataPages: dataPages,
+		exported:  exported,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = nand.InvalidPPN
+	}
+	// Safety floor: one GC pass can open a destination superblock per
+	// stream before the victim's erase lands, so this many superblocks must
+	// always stay free or allocation deadlocks.
+	f.minFree = sep.NumStreams() + 1
+	// The physical spare (superblocks not needed to hold the exported
+	// capacity) must exceed that floor, or GC can never make progress once
+	// the drive fills.
+	liveSBs := (exported + dataPages - 1) / dataPages
+	spare := geo.Superblocks() - liveSBs
+	if spare < f.minFree+2 {
+		return nil, fmt.Errorf(
+			"ftl: only %d spare superblocks for a GC floor of %d; increase OPRatio or device size",
+			spare, f.minFree)
+	}
+	for i := range f.open {
+		f.open[i] = -1
+	}
+	// Free list: high IDs popped first keeps low superblocks for early data,
+	// which makes traces reproducible and debuggable.
+	for sb := geo.Superblocks() - 1; sb >= 0; sb-- {
+		f.free = append(f.free, sb)
+	}
+	return f, nil
+}
+
+// Device exposes the underlying NAND device (read-only use by schemes and
+// timing models).
+func (f *FTL) Device() *nand.Device { return f.dev }
+
+// Config returns the configuration the FTL runs with.
+func (f *FTL) Config() Config { return f.cfg }
+
+// ExportedPages returns the logical capacity in pages.
+func (f *FTL) ExportedPages() int { return f.exported }
+
+// DataPagesPerSB returns the data-region size of each superblock.
+func (f *FTL) DataPagesPerSB() int { return f.dataPages }
+
+// Clock returns the virtual time: total user pages written so far.
+func (f *FTL) Clock() uint64 { return f.clock }
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Separator returns the installed data-separation scheme.
+func (f *FTL) Separator() Separator { return f.sep }
+
+// MappedPPN returns the current physical location of an LPN, or InvalidPPN.
+func (f *FTL) MappedPPN(lpn nand.LPN) nand.PPN {
+	if int(lpn) >= f.exported {
+		return nand.InvalidPPN
+	}
+	return f.l2p[lpn]
+}
+
+// allocPage takes the next page of the stream's open superblock, opening a
+// fresh superblock when needed, and returns its PPN. It does NOT close full
+// superblocks; the caller must invoke closeIfFull after programming.
+func (f *FTL) allocPage(stream, gcClass int) (nand.PPN, error) {
+	sbID := f.open[stream]
+	if sbID < 0 {
+		if len(f.free) == 0 {
+			return nand.InvalidPPN, fmt.Errorf("%w: stream %d", ErrNoFreeSpace, stream)
+		}
+		sbID = f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		sb := &f.sbs[sbID]
+		sb.state = SBOpen
+		sb.stream = stream
+		sb.gcClass = gcClass
+		sb.writePtr = 0
+		sb.valid = 0
+		sb.openClock = f.clock
+		f.open[stream] = sbID
+	}
+	sb := &f.sbs[sbID]
+	ppn := f.cfg.Geometry.SuperblockPPN(sbID, sb.writePtr)
+	sb.writePtr++
+	sb.valid++
+	return ppn, nil
+}
+
+// closeIfFull seals the stream's open superblock when its data region is
+// full: the separator's meta pages are programmed into the tail and the
+// superblock transitions to SBClosed.
+func (f *FTL) closeIfFull(stream int) error {
+	sbID := f.open[stream]
+	if sbID < 0 {
+		return nil
+	}
+	sb := &f.sbs[sbID]
+	if sb.writePtr < f.dataPages {
+		return nil
+	}
+	if f.cfg.MetaPagesPerSB > 0 {
+		pages := f.sep.MetaPages(sbID)
+		if len(pages) != f.cfg.MetaPagesPerSB {
+			return fmt.Errorf("ftl: separator %q returned %d meta pages, want %d",
+				f.sep.Name(), len(pages), f.cfg.MetaPagesPerSB)
+		}
+		for i, buf := range pages {
+			ppn := f.cfg.Geometry.SuperblockPPN(sbID, f.dataPages+i)
+			if err := f.dev.ProgramFull(ppn, nand.InvalidLPN, buf, nil); err != nil {
+				return fmt.Errorf("ftl: meta page program: %w", err)
+			}
+			f.stats.MetaPageWrites++
+		}
+	}
+	sb.state = SBClosed
+	sb.closeClock = f.clock
+	f.open[stream] = -1
+	return nil
+}
+
+// Write performs one page-granularity host write.
+func (f *FTL) Write(w UserWrite) error {
+	if int(w.LPN) >= f.exported {
+		return fmt.Errorf("%w: %d >= %d", ErrLPNRange, w.LPN, f.exported)
+	}
+	w.OldPPN = f.l2p[w.LPN]
+	stream, oob := f.sep.PlaceUserWrite(w, f.clock)
+	ppn, err := f.allocPage(stream, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.dev.Program(ppn, w.LPN, oob); err != nil {
+		return err
+	}
+	f.invalidateOld(w.LPN)
+	f.l2p[w.LPN] = ppn
+	f.clock++
+	f.stats.UserPageWrites++
+	f.sep.OnPagePlaced(w.LPN, ppn, true)
+	if err := f.closeIfFull(stream); err != nil {
+		return err
+	}
+	return f.maybeGC()
+}
+
+func (f *FTL) invalidateOld(lpn nand.LPN) {
+	old := f.l2p[lpn]
+	if old == nand.InvalidPPN {
+		return
+	}
+	if err := f.dev.Invalidate(old); err != nil {
+		// Programming errors above guarantee this cannot happen; a failure
+		// here indicates simulator state corruption.
+		panic(fmt.Sprintf("ftl: invalidate %d: %v", old, err))
+	}
+	f.sbs[f.cfg.Geometry.SuperblockOf(old)].valid--
+}
+
+// Read performs one page-granularity host read. It returns ErrUnmapped for
+// never-written LPNs (hosts read zeroes there; callers may ignore it).
+func (f *FTL) Read(lpn nand.LPN, reqPages int) error {
+	if int(lpn) >= f.exported {
+		return fmt.Errorf("%w: %d >= %d", ErrLPNRange, lpn, f.exported)
+	}
+	f.sep.OnUserRead(lpn, reqPages)
+	ppn := f.l2p[lpn]
+	if ppn == nand.InvalidPPN {
+		return ErrUnmapped
+	}
+	f.stats.HostPageReads++
+	if f.cfg.CountHostReads {
+		if _, _, err := f.dev.Read(ppn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trim invalidates an LPN (e.g. a discard command).
+func (f *FTL) Trim(lpn nand.LPN) error {
+	if int(lpn) >= f.exported {
+		return fmt.Errorf("%w: %d >= %d", ErrLPNRange, lpn, f.exported)
+	}
+	if f.l2p[lpn] == nand.InvalidPPN {
+		return nil
+	}
+	f.invalidateOld(lpn)
+	f.l2p[lpn] = nand.InvalidPPN
+	f.stats.Trims++
+	return nil
+}
+
+// ReadFlashPage reads an arbitrary physical page's logical identity and OOB
+// payload, charging a flash read.
+func (f *FTL) ReadFlashPage(ppn nand.PPN) (nand.LPN, []byte, error) {
+	return f.dev.Read(ppn)
+}
+
+// ReadMetaPage reads the data payload of a (metadata) page, charging a flash
+// read. PHFTL's metadata store uses it to fetch meta pages on cache misses.
+func (f *FTL) ReadMetaPage(ppn nand.PPN) ([]byte, error) {
+	_, data, _, err := f.dev.ReadFull(ppn)
+	return data, err
+}
+
+// FreeSuperblocks returns the current number of free superblocks.
+func (f *FTL) FreeSuperblocks() int { return len(f.free) }
+
+// maybeGC implements the paper's GC trigger (§III-D): after each write, if
+// the proportion of free superblocks is below the watermark, one victim is
+// collected. Collecting only one victim per write lets the free pool float
+// below the watermark under pressure, so garbage ages toward fully-dead
+// superblocks instead of being harvested prematurely — the free pool is a
+// trigger, not a reserve. A hard floor (enough free superblocks for every
+// stream to open a GC destination) is enforced unconditionally to keep
+// allocation deadlock-free.
+func (f *FTL) maybeGC() error {
+	for len(f.free) <= f.minFree {
+		victim := f.selectVictim()
+		if victim < 0 {
+			f.stats.GCFutile++
+			return nil
+		}
+		if err := f.collect(victim); err != nil {
+			return err
+		}
+	}
+	if float64(len(f.free))/float64(f.cfg.Geometry.Superblocks()) < f.cfg.GCWatermark {
+		victim := f.selectVictim()
+		if victim < 0 {
+			f.stats.GCFutile++
+			return nil
+		}
+		return f.collect(victim)
+	}
+	return nil
+}
+
+// selectVictim returns the closed superblock with the highest policy score,
+// or -1 when no closed superblock has any invalid page (GC would make no
+// progress).
+func (f *FTL) selectVictim() int {
+	best := -1
+	bestScore := math.Inf(-1)
+	for id := range f.sbs {
+		sb := &f.sbs[id]
+		if sb.state != SBClosed {
+			continue
+		}
+		invalid := f.dataPages - sb.valid
+		if invalid == 0 {
+			continue
+		}
+		view := SBView{
+			ID:         id,
+			Stream:     sb.stream,
+			GCClass:    sb.gcClass,
+			Valid:      sb.valid,
+			Invalid:    invalid,
+			DataPages:  f.dataPages,
+			CloseClock: sb.closeClock,
+		}
+		if score := f.policy.Score(view, f.clock); score > bestScore {
+			bestScore = score
+			best = id
+		}
+	}
+	return best
+}
+
+// collect migrates the victim's valid pages and erases it.
+func (f *FTL) collect(victim int) error {
+	geo := f.cfg.Geometry
+	sb := &f.sbs[victim]
+	class := sb.gcClass + 1
+	if class > f.cfg.MaxGCClass {
+		class = f.cfg.MaxGCClass
+	}
+	for off := 0; off < f.dataPages; off++ {
+		ppn := geo.SuperblockPPN(victim, off)
+		st, err := f.dev.State(ppn)
+		if err != nil {
+			return err
+		}
+		if st != nand.PageValid {
+			continue
+		}
+		lpn, oldOOB, err := f.dev.Read(ppn)
+		if err != nil {
+			return err
+		}
+		f.stats.GCPageReads++
+		stream, oob := f.sep.PlaceGCWrite(lpn, oldOOB, class, f.clock)
+		newPPN, err := f.allocPage(stream, class)
+		if err != nil {
+			return err
+		}
+		if err := f.dev.Program(newPPN, lpn, oob); err != nil {
+			return err
+		}
+		if err := f.dev.Invalidate(ppn); err != nil {
+			return err
+		}
+		sb.valid--
+		f.l2p[lpn] = newPPN
+		f.stats.GCPageWrites++
+		f.sep.OnPagePlaced(lpn, newPPN, false)
+		if err := f.closeIfFull(stream); err != nil {
+			return err
+		}
+	}
+	// Invalidate still-valid meta pages so the erase precondition holds.
+	for off := f.dataPages; off < geo.PagesPerSuperblock(); off++ {
+		ppn := geo.SuperblockPPN(victim, off)
+		st, err := f.dev.State(ppn)
+		if err != nil {
+			return err
+		}
+		if st == nand.PageValid {
+			if err := f.dev.Invalidate(ppn); err != nil {
+				return err
+			}
+		}
+	}
+	if err := f.dev.EraseSuperblock(victim); err != nil {
+		return err
+	}
+	sb.state = SBFree
+	sb.stream = 0
+	sb.gcClass = 0
+	sb.writePtr = 0
+	sb.valid = 0
+	f.free = append(f.free, victim)
+	f.stats.GCVictims++
+	f.sep.OnSuperblockErased(victim)
+	return nil
+}
+
+// SuperblockView returns the policy view of any superblock (for inspection
+// and tests).
+func (f *FTL) SuperblockView(id int) SBView {
+	sb := &f.sbs[id]
+	written := sb.writePtr
+	if sb.state == SBClosed {
+		written = f.dataPages
+	}
+	return SBView{
+		ID:         id,
+		Stream:     sb.stream,
+		GCClass:    sb.gcClass,
+		Valid:      sb.valid,
+		Invalid:    written - sb.valid,
+		DataPages:  f.dataPages,
+		CloseClock: sb.closeClock,
+	}
+}
+
+// SuperblockStateOf returns the lifecycle state of a superblock.
+func (f *FTL) SuperblockStateOf(id int) SuperblockState { return f.sbs[id].state }
+
+// CheckInvariants validates internal consistency: every mapped LPN points at
+// a valid page recording that LPN, per-superblock valid counts match the
+// device, and free/open/closed partitioning is coherent. Tests call it after
+// workloads; it is O(device size).
+func (f *FTL) CheckInvariants() error {
+	geo := f.cfg.Geometry
+	validBySB := make([]int, geo.Superblocks())
+	for lpn, ppn := range f.l2p {
+		if ppn == nand.InvalidPPN {
+			continue
+		}
+		st, err := f.dev.State(ppn)
+		if err != nil {
+			return err
+		}
+		if st != nand.PageValid {
+			return fmt.Errorf("ftl: lpn %d maps to %s page %d", lpn, st, ppn)
+		}
+		got, err := f.dev.LPNAt(ppn)
+		if err != nil {
+			return err
+		}
+		if got != nand.LPN(lpn) {
+			return fmt.Errorf("ftl: lpn %d maps to page %d recording lpn %d", lpn, ppn, got)
+		}
+		validBySB[geo.SuperblockOf(ppn)]++
+	}
+	freeSet := map[int]bool{}
+	for _, id := range f.free {
+		freeSet[id] = true
+	}
+	for id := range f.sbs {
+		sb := &f.sbs[id]
+		if sb.state == SBFree != freeSet[id] {
+			return fmt.Errorf("ftl: superblock %d state %d vs free-list membership %v", id, sb.state, freeSet[id])
+		}
+		if sb.valid != validBySB[id] {
+			return fmt.Errorf("ftl: superblock %d valid count %d, l2p says %d", id, sb.valid, validBySB[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/phftl/phftl/internal/nand"
+)
+
+// smallGeo returns a geometry small enough for exhaustive tests but with
+// enough superblocks to satisfy the GC reserve for 1-2 streams.
+func smallGeo() nand.Geometry {
+	return nand.Geometry{PageSize: 4096, OOBSize: 64, PagesPerBlock: 8, BlocksPerDie: 512, Dies: 2}
+}
+
+func newBaseFTL(t *testing.T) *FTL {
+	t.Helper()
+	cfg := DefaultConfig(smallGeo())
+	f, err := New(cfg, NewBaseSeparator(), GreedyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig(smallGeo())
+	if _, err := New(cfg, NewBaseSeparator(), GreedyPolicy{}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := cfg
+	bad.MetaPagesPerSB = smallGeo().PagesPerSuperblock()
+	if _, err := New(bad, NewBaseSeparator(), GreedyPolicy{}); err == nil {
+		t.Error("meta pages consuming whole superblock accepted")
+	}
+	bad = cfg
+	bad.GCWatermark = 0
+	if _, err := New(bad, NewBaseSeparator(), GreedyPolicy{}); err == nil {
+		t.Error("zero watermark accepted")
+	}
+	bad = cfg
+	bad.OPRatio = -0.5
+	if _, err := New(bad, NewBaseSeparator(), GreedyPolicy{}); err == nil {
+		t.Error("negative OP accepted")
+	}
+	// OP too small to fund the GC reserve must be rejected up front.
+	bad = cfg
+	bad.OPRatio = 0.001
+	if _, err := New(bad, NewBaseSeparator(), GreedyPolicy{}); err == nil {
+		t.Error("unsustainable OP accepted")
+	}
+}
+
+func TestWriteReadTrim(t *testing.T) {
+	f := newBaseFTL(t)
+	if err := f.Write(UserWrite{LPN: 5, ReqPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if f.MappedPPN(5) == nand.InvalidPPN {
+		t.Fatal("lpn 5 unmapped after write")
+	}
+	if err := f.Read(5, 1); err != nil {
+		t.Fatalf("read mapped: %v", err)
+	}
+	if err := f.Read(6, 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read unmapped: %v", err)
+	}
+	if err := f.Trim(5); err != nil {
+		t.Fatal(err)
+	}
+	if f.MappedPPN(5) != nand.InvalidPPN {
+		t.Error("lpn 5 still mapped after trim")
+	}
+	if err := f.Trim(5); err != nil {
+		t.Errorf("double trim: %v", err)
+	}
+	if f.Stats().Trims != 1 {
+		t.Errorf("trims = %d", f.Stats().Trims)
+	}
+	if err := f.Write(UserWrite{LPN: nand.LPN(f.ExportedPages())}); !errors.Is(err, ErrLPNRange) {
+		t.Errorf("out-of-range write: %v", err)
+	}
+	if err := f.Read(nand.LPN(f.ExportedPages()), 1); !errors.Is(err, ErrLPNRange) {
+		t.Errorf("out-of-range read: %v", err)
+	}
+	if err := f.Trim(nand.LPN(f.ExportedPages())); !errors.Is(err, ErrLPNRange) {
+		t.Errorf("out-of-range trim: %v", err)
+	}
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	f := newBaseFTL(t)
+	if err := f.Write(UserWrite{LPN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := f.MappedPPN(1)
+	if err := f.Write(UserWrite{LPN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	second := f.MappedPPN(1)
+	if first == second {
+		t.Fatal("overwrite did not relocate the page")
+	}
+	st, _ := f.Device().State(first)
+	if st != nand.PageInvalid {
+		t.Errorf("old page state = %v, want invalid", st)
+	}
+	if f.Clock() != 2 {
+		t.Errorf("clock = %d, want 2", f.Clock())
+	}
+}
+
+func TestVirtualClockCountsOnlyUserWrites(t *testing.T) {
+	f := newBaseFTL(t)
+	for i := 0; i < 100; i++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(i % 10)}); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Read(nand.LPN(i%10), 1)
+	}
+	if f.Clock() != 100 {
+		t.Errorf("clock = %d, want 100 (reads must not advance it)", f.Clock())
+	}
+}
+
+// fillDrive writes every exported LPN once, then applies extra random
+// overwrites to force GC activity.
+func fillDrive(t *testing.T, f *FTL, overwrites int, seed int64) {
+	t.Helper()
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < overwrites; i++ {
+		lpn := nand.LPN(rng.Intn(f.ExportedPages()))
+		if err := f.Write(UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+}
+
+func TestGCReclaimsSpaceUnderSteadyState(t *testing.T) {
+	f := newBaseFTL(t)
+	fillDrive(t, f, 4*f.ExportedPages(), 42)
+	s := f.Stats()
+	if s.GCVictims == 0 {
+		t.Fatal("no GC happened despite 5 drive writes")
+	}
+	if s.GCPageWrites == 0 {
+		t.Fatal("GC migrated no pages (suspicious for random overwrites)")
+	}
+	if f.FreeSuperblocks() == 0 {
+		t.Fatal("free pool exhausted")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// WA sanity: uniform random overwrites at 7% OP must amplify writes.
+	if wa := s.WA(); wa <= 0 {
+		t.Errorf("WA = %v, want > 0 under uniform random", wa)
+	}
+}
+
+func TestGCPreservesAllData(t *testing.T) {
+	// After heavy churn every mapped LPN must still record the right LPN on
+	// the device (no lost or cross-wired mappings).
+	f := newBaseFTL(t)
+	fillDrive(t, f, 3*f.ExportedPages(), 7)
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		ppn := f.MappedPPN(nand.LPN(lpn))
+		if ppn == nand.InvalidPPN {
+			t.Fatalf("lpn %d lost its mapping", lpn)
+		}
+		got, err := f.Device().LPNAt(ppn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nand.LPN(lpn) {
+			t.Fatalf("lpn %d maps to page holding lpn %d", lpn, got)
+		}
+	}
+}
+
+func TestWAIdentityForSequentialFill(t *testing.T) {
+	// Writing each LPN exactly once can trigger no GC migrations: WA = 0.
+	f := newBaseFTL(t)
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.GCPageWrites != 0 {
+		t.Errorf("GC migrated %d pages on first fill", s.GCPageWrites)
+	}
+	if wa := s.WA(); wa != 0 {
+		t.Errorf("WA = %v, want 0", wa)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := newBaseFTL(t)
+	fillDrive(t, f, 2*f.ExportedPages(), 3)
+	s := f.Stats()
+	wantUser := uint64(3 * f.ExportedPages())
+	if s.UserPageWrites != wantUser {
+		t.Errorf("UserPageWrites = %d, want %d", s.UserPageWrites, wantUser)
+	}
+	// Device programs = user + GC + meta.
+	if got := f.Device().Stats().Programs; got != s.FlashPageWrites() {
+		t.Errorf("device programs %d != stats flash writes %d", got, s.FlashPageWrites())
+	}
+	// GC reads equal GC writes (every migrated page is read once).
+	if s.GCPageReads != s.GCPageWrites {
+		t.Errorf("GC reads %d != GC writes %d", s.GCPageReads, s.GCPageWrites)
+	}
+}
+
+// hotColdSeparator is a two-stream oracle separator for testing
+// separation-dependent behaviour: LPNs below the split are "hot".
+type hotColdSeparator struct {
+	NopSeparator
+	split nand.LPN
+}
+
+func (h *hotColdSeparator) Name() string    { return "oracle" }
+func (h *hotColdSeparator) NumStreams() int { return 2 }
+func (h *hotColdSeparator) PlaceUserWrite(w UserWrite, _ uint64) (int, []byte) {
+	if w.LPN < h.split {
+		return 0, nil
+	}
+	return 1, nil
+}
+func (h *hotColdSeparator) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) {
+	return 1, nil
+}
+
+func TestOracleSeparationBeatsBase(t *testing.T) {
+	// A hot/cold workload: 90% of writes hit 10% of LPNs. Perfect separation
+	// must yield materially lower WA than no separation — the core premise
+	// of the paper (§II-B).
+	run := func(sep Separator) float64 {
+		cfg := DefaultConfig(smallGeo())
+		f, err := New(cfg, sep, GreedyPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		// The hot set must be small relative to the OP slack (as in real
+		// cloud traces) for separation to pay off; 1% of LPNs take 90% of
+		// the writes.
+		hot := f.ExportedPages() / 100
+		for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+			if err := f.Write(UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6*f.ExportedPages(); i++ {
+			var lpn int
+			if rng.Float64() < 0.9 {
+				lpn = rng.Intn(hot)
+			} else {
+				lpn = hot + rng.Intn(f.ExportedPages()-hot)
+			}
+			if err := f.Write(UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().WA()
+	}
+	split := nand.LPN(0)
+	{
+		cfg := DefaultConfig(smallGeo())
+		f, err := New(cfg, NewBaseSeparator(), GreedyPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		split = nand.LPN(f.ExportedPages() / 100)
+	}
+	waBase := run(NewBaseSeparator())
+	waOracle := run(&hotColdSeparator{split: split})
+	if waOracle >= waBase*0.8 {
+		t.Fatalf("oracle separation WA %.3f not clearly below base WA %.3f", waOracle, waBase)
+	}
+}
+
+func TestMetaPagesProgrammedAtClose(t *testing.T) {
+	cfg := DefaultConfig(smallGeo())
+	cfg.MetaPagesPerSB = 1
+	sep := &metaSep{}
+	f, err := New(cfg, sep, GreedyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill exactly one superblock's data region.
+	for i := 0; i < f.DataPagesPerSB(); i++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sep.metaCalls != 1 {
+		t.Fatalf("MetaPages calls = %d, want 1", sep.metaCalls)
+	}
+	if f.Stats().MetaPageWrites != 1 {
+		t.Fatalf("MetaPageWrites = %d, want 1", f.Stats().MetaPageWrites)
+	}
+	// The meta page occupies the superblock tail and holds our payload.
+	sb := f.cfg.Geometry.SuperblockOf(f.MappedPPN(0))
+	mppn := f.cfg.Geometry.SuperblockPPN(sb, f.DataPagesPerSB())
+	lpn, _, err := f.ReadFlashPage(mppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpn != nand.InvalidLPN {
+		t.Errorf("meta page lpn = %d, want InvalidLPN", lpn)
+	}
+	data, err := f.ReadMetaPage(mppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 || data[0] != 0xAB {
+		t.Errorf("meta payload = %v", data)
+	}
+}
+
+type metaSep struct {
+	NopSeparator
+	metaCalls int
+}
+
+func (m *metaSep) Name() string    { return "meta" }
+func (m *metaSep) NumStreams() int { return 1 }
+func (m *metaSep) PlaceUserWrite(UserWrite, uint64) (int, []byte) {
+	return 0, nil
+}
+func (m *metaSep) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) { return 0, nil }
+func (m *metaSep) MetaPages(int) [][]byte {
+	m.metaCalls++
+	return [][]byte{{0xAB, 0xCD, 0xEF}}
+}
+
+func TestGCClassPropagation(t *testing.T) {
+	// Pages migrated by GC enter class 1; re-migrated pages class 2, capped
+	// at MaxGCClass. Observe via a separator that records classes.
+	cfg := DefaultConfig(smallGeo())
+	cfg.MaxGCClass = 3
+	sep := &classRecorder{}
+	f, err := New(cfg, sep, GreedyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10*f.ExportedPages(); i++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(rng.Intn(f.ExportedPages()))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sep.classes) == 0 {
+		t.Fatal("no GC writes observed")
+	}
+	seen := map[int]bool{}
+	for _, c := range sep.classes {
+		if c < 1 || c > 3 {
+			t.Fatalf("gc class %d outside [1,3]", c)
+		}
+		seen[c] = true
+	}
+	if !seen[1] {
+		t.Error("class 1 never observed")
+	}
+	if !seen[3] && !seen[2] {
+		t.Error("no re-migration classes observed after 10 drive writes")
+	}
+}
+
+type classRecorder struct {
+	NopSeparator
+	classes []int
+}
+
+func (c *classRecorder) Name() string    { return "classes" }
+func (c *classRecorder) NumStreams() int { return 2 }
+func (c *classRecorder) PlaceUserWrite(UserWrite, uint64) (int, []byte) {
+	return 0, nil
+}
+func (c *classRecorder) PlaceGCWrite(_ nand.LPN, _ []byte, class int, _ uint64) (int, []byte) {
+	c.classes = append(c.classes, class)
+	return 1, nil
+}
+func (c *classRecorder) StreamGCClass(stream int) int {
+	if stream == 1 {
+		return 1
+	}
+	return 0
+}
+
+func TestGeometryForSatisfiesNew(t *testing.T) {
+	for _, exported := range []int{2000, 8192, 24576} {
+		for _, streams := range []int{1, 2, 7} {
+			geo := GeometryFor(exported, 0.07, 0, streams, 2, 128, 16384, 64)
+			cfg := DefaultConfig(geo)
+			sep := &nStreamSep{n: streams}
+			f, err := New(cfg, sep, GreedyPolicy{})
+			if err != nil {
+				t.Fatalf("exported=%d streams=%d: %v", exported, streams, err)
+			}
+			if f.ExportedPages() < exported {
+				t.Errorf("exported=%d streams=%d: got %d pages", exported, streams, f.ExportedPages())
+			}
+		}
+	}
+}
+
+type nStreamSep struct {
+	NopSeparator
+	n int
+}
+
+func (s *nStreamSep) Name() string                                   { return "n" }
+func (s *nStreamSep) NumStreams() int                                { return s.n }
+func (s *nStreamSep) PlaceUserWrite(UserWrite, uint64) (int, []byte) { return 0, nil }
+func (s *nStreamSep) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) {
+	return 0, nil
+}

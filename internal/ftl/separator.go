@@ -1,0 +1,112 @@
+// Package ftl implements the flash translation layer framework shared by
+// every scheme in the PHFTL reproduction: a page-granularity L2P table,
+// superblock-based allocation with round-robin die striping, multi-stream
+// open superblocks (the mechanism data separation schemes plug into), the
+// garbage-collection engine with pluggable victim-selection policies, and
+// write-amplification accounting.
+//
+// Data separation schemes (Base, 2R, SepBIT, PHFTL) implement the Separator
+// interface, which decides — for each user-written and GC-migrated page —
+// which open superblock (stream) the page goes to, and optionally attaches
+// per-page OOB metadata and per-superblock meta pages (PHFTL's ML metadata
+// layout, paper §III-C).
+package ftl
+
+import "github.com/phftl/phftl/internal/nand"
+
+// UserWrite describes one page-granularity host write with the request
+// context PHFTL extracts features from.
+type UserWrite struct {
+	LPN      nand.LPN
+	ReqPages int  // pages in the parent request (io_len)
+	Seq      bool // parent request was sequential
+
+	// OldPPN is filled in by the FTL before the separator sees the write:
+	// the page's current physical location (InvalidPPN when never written).
+	// Schemes with flash-resident per-page metadata use it to locate the
+	// page's metadata entry.
+	OldPPN nand.PPN
+}
+
+// Separator decides data placement. Implementations must be deterministic
+// given the same call sequence; the FTL invokes them single-threaded.
+type Separator interface {
+	// Name identifies the scheme in reports.
+	Name() string
+
+	// NumStreams returns how many open superblocks the scheme maintains.
+	// Stream IDs passed back to the FTL must lie in [0, NumStreams).
+	NumStreams() int
+
+	// StreamGCClass maps a stream ID to the GC class of pages it receives:
+	// 0 for user-written data, k for pages GC'ed k times (paper §III-A(3)).
+	StreamGCClass(stream int) int
+
+	// PlaceUserWrite picks the stream for a host-written page and returns
+	// the OOB payload to program alongside it (nil for schemes without
+	// per-page metadata). clock is the global page-write virtual clock
+	// *before* this write.
+	PlaceUserWrite(w UserWrite, clock uint64) (stream int, oob []byte)
+
+	// PlaceGCWrite picks the stream for a page migrated by GC. oldOOB is
+	// the OOB payload read from the victim page (aliases device memory;
+	// copy if retained); gcClass is the class the page is entering.
+	PlaceGCWrite(lpn nand.LPN, oldOOB []byte, gcClass int, clock uint64) (stream int, oob []byte)
+
+	// OnPagePlaced reports where a page landed after PlaceUserWrite or
+	// PlaceGCWrite. Schemes that maintain flash-resident metadata use it to
+	// associate the metadata entry with its (superblock, offset) slot.
+	OnPagePlaced(lpn nand.LPN, ppn nand.PPN, userWrite bool)
+
+	// OnUserRead reports a host read of one page (feature bookkeeping).
+	OnUserRead(lpn nand.LPN, reqPages int)
+
+	// MetaPages is called when a superblock's data region fills, before the
+	// superblock closes. It must return exactly Config.MetaPagesPerSB
+	// buffers, programmed into the superblock's tail pages.
+	MetaPages(sb int) [][]byte
+
+	// OnSuperblockErased is called after GC erases a superblock, so schemes
+	// can invalidate cached metadata addressed by physical page numbers.
+	OnSuperblockErased(sb int)
+}
+
+// NopSeparator provides no-op implementations of the optional Separator
+// callbacks; scheme implementations embed it and override what they need.
+type NopSeparator struct{}
+
+// StreamGCClass returns 0 (everything is user class).
+func (NopSeparator) StreamGCClass(int) int { return 0 }
+
+// OnPagePlaced does nothing.
+func (NopSeparator) OnPagePlaced(nand.LPN, nand.PPN, bool) {}
+
+// OnUserRead does nothing.
+func (NopSeparator) OnUserRead(nand.LPN, int) {}
+
+// MetaPages returns nil (no meta pages reserved).
+func (NopSeparator) MetaPages(int) [][]byte { return nil }
+
+// OnSuperblockErased does nothing.
+func (NopSeparator) OnSuperblockErased(int) {}
+
+// BaseSeparator is the no-separation baseline ("Base" in the evaluation,
+// FEMU's original FTL): user writes and GC migrations share one stream.
+type BaseSeparator struct {
+	NopSeparator
+}
+
+// NewBaseSeparator returns the Base scheme.
+func NewBaseSeparator() *BaseSeparator { return &BaseSeparator{} }
+
+// Name implements Separator.
+func (*BaseSeparator) Name() string { return "Base" }
+
+// NumStreams implements Separator: a single shared stream.
+func (*BaseSeparator) NumStreams() int { return 1 }
+
+// PlaceUserWrite implements Separator.
+func (*BaseSeparator) PlaceUserWrite(UserWrite, uint64) (int, []byte) { return 0, nil }
+
+// PlaceGCWrite implements Separator.
+func (*BaseSeparator) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) { return 0, nil }

@@ -1,0 +1,49 @@
+package ml
+
+// Hexadecimal-digit input encoding (§III-B): "For efficient processing,
+// PHFTL breaks numerical inputs into hexadecimal digits and each digit
+// represents a neuron. The number of digits used for each feature is chosen
+// so that most cases can be handled without overflow."
+//
+// Each digit is normalized to [0,1] by dividing by 15 so that all input
+// neurons share one dynamic range.
+
+// HexDigits writes the n least-significant hexadecimal digits of v into dst
+// (least significant digit first), each normalized to [0,1]. Values that do
+// not fit in n digits saturate to all-0xF, matching firmware behaviour where
+// digit counts are sized for the common case. It returns dst extended by n
+// entries.
+func HexDigits(dst []float64, v uint64, n int) []float64 {
+	limit := uint64(1)<<(4*uint(n)) - 1
+	if n >= 16 {
+		limit = ^uint64(0)
+	}
+	if v > limit {
+		v = limit
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, float64(v&0xF)/15.0)
+		v >>= 4
+	}
+	return dst
+}
+
+// Bit appends a single 0/1 neuron.
+func Bit(dst []float64, b bool) []float64 {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Ratio01 appends a ratio in [0,1] quantized to n hexadecimal digits (the
+// paper's rw_rat feature is a global read/write ratio).
+func Ratio01(dst []float64, r float64, n int) []float64 {
+	if r < 0 {
+		r = 0
+	} else if r > 1 {
+		r = 1
+	}
+	limit := uint64(1)<<(4*uint(n)) - 1
+	return HexDigits(dst, uint64(r*float64(limit)+0.5), n)
+}

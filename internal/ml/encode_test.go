@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHexDigits(t *testing.T) {
+	got := HexDigits(nil, 0xAB3, 3)
+	want := []float64{3.0 / 15, 11.0 / 15, 10.0 / 15} // LSD first
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("digit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHexDigitsSaturation(t *testing.T) {
+	// 0x1FF does not fit in 2 digits; it must saturate to 0xFF, not wrap.
+	got := HexDigits(nil, 0x1FF, 2)
+	for i, v := range got {
+		if v != 1.0 {
+			t.Errorf("digit %d = %v, want saturated 1.0", i, v)
+		}
+	}
+	// Full-width (16-digit) encoding of max uint64 must not overflow.
+	full := HexDigits(nil, ^uint64(0), 16)
+	for i, v := range full {
+		if v != 1.0 {
+			t.Errorf("full digit %d = %v", i, v)
+		}
+	}
+}
+
+func TestHexDigitsAppend(t *testing.T) {
+	dst := []float64{42}
+	dst = HexDigits(dst, 1, 2)
+	if len(dst) != 3 || dst[0] != 42 {
+		t.Errorf("append behaviour broken: %v", dst)
+	}
+}
+
+func TestHexDigitsRangeProperty(t *testing.T) {
+	f := func(v uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		out := HexDigits(nil, uint64(v), n)
+		if len(out) != n {
+			return false
+		}
+		for _, d := range out {
+			if d < 0 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexDigitsReconstructProperty(t *testing.T) {
+	// For in-range values, digits reconstruct the original value exactly.
+	f := func(v uint16) bool {
+		out := HexDigits(nil, uint64(v), 4)
+		var back uint64
+		for i := 3; i >= 0; i-- {
+			back = back<<4 | uint64(out[i]*15+0.5)
+		}
+		return back == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	if got := Bit(nil, true); got[0] != 1 {
+		t.Errorf("Bit(true) = %v", got)
+	}
+	if got := Bit(nil, false); got[0] != 0 {
+		t.Errorf("Bit(false) = %v", got)
+	}
+}
+
+func TestRatio01(t *testing.T) {
+	lo := Ratio01(nil, 0, 2)
+	hi := Ratio01(nil, 1, 2)
+	for _, v := range lo {
+		if v != 0 {
+			t.Errorf("Ratio01(0) digits = %v", lo)
+		}
+	}
+	for _, v := range hi {
+		if v != 1 {
+			t.Errorf("Ratio01(1) digits = %v", hi)
+		}
+	}
+	// Clamping.
+	if got := Ratio01(nil, -3, 2); got[0] != 0 {
+		t.Errorf("negative ratio not clamped: %v", got)
+	}
+	if got := Ratio01(nil, 7, 2); got[0] != 1 {
+		t.Errorf("oversized ratio not clamped: %v", got)
+	}
+	// Monotonicity: larger ratio encodes to a value that is >= when decoded.
+	decode := func(d []float64) float64 {
+		v := 0.0
+		for i := len(d) - 1; i >= 0; i-- {
+			v = v*16 + d[i]*15
+		}
+		return v
+	}
+	prev := -1.0
+	for r := 0.0; r <= 1.0; r += 0.05 {
+		v := decode(Ratio01(nil, r, 2))
+		if v < prev {
+			t.Fatalf("Ratio01 not monotonic at %v", r)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GRUNet is PHFTL's Page Classifier network (Figure 3): a single-layer gated
+// recurrent unit with Hidden neurons followed by a fully connected layer to
+// NumClasses output neurons; argmax of the logits is the prediction.
+//
+// Gate equations (per step, x = input, h = previous hidden state):
+//
+//	z = σ(Wz·x + Uz·h + bz)        update gate
+//	r = σ(Wr·x + Ur·h + br)        reset gate
+//	c = tanh(Wc·x + Uc·(r⊙h) + bc) candidate state
+//	h' = (1−z)⊙h + z⊙c
+//
+// Because h' is a convex combination of h (initially 0) and c ∈ (−1,1),
+// hidden states always lie in (−1,1) — the property PHFTL relies on to cache
+// them as 8-bit integers (§III-C).
+type GRUNet struct {
+	In, Hidden, NumClasses int
+
+	Wz, Uz, Bz *Tensor
+	Wr, Ur, Br *Tensor
+	Wc, Uc, Bc *Tensor
+	Wout, Bout *Tensor
+}
+
+// NumClassesDefault is the binary short-living / long-living output of the
+// paper's classifier.
+const NumClassesDefault = 2
+
+// NewGRUNet builds a randomly initialized network.
+func NewGRUNet(in, hidden, classes int, rng *rand.Rand) *GRUNet {
+	n := &GRUNet{
+		In: in, Hidden: hidden, NumClasses: classes,
+		Wz: NewTensor(hidden, in), Uz: NewTensor(hidden, hidden), Bz: NewTensor(1, hidden),
+		Wr: NewTensor(hidden, in), Ur: NewTensor(hidden, hidden), Br: NewTensor(1, hidden),
+		Wc: NewTensor(hidden, in), Uc: NewTensor(hidden, hidden), Bc: NewTensor(1, hidden),
+		Wout: NewTensor(classes, hidden), Bout: NewTensor(1, classes),
+	}
+	for _, t := range n.weights() {
+		t.InitXavier(rng)
+	}
+	return n
+}
+
+func (n *GRUNet) weights() []*Tensor {
+	return []*Tensor{n.Wz, n.Uz, n.Bz, n.Wr, n.Ur, n.Br, n.Wc, n.Uc, n.Bc, n.Wout, n.Bout}
+}
+
+// Params returns every learnable tensor (for the optimizer).
+func (n *GRUNet) Params() []*Tensor { return n.weights() }
+
+// ZeroGrad clears all parameter gradients.
+func (n *GRUNet) ZeroGrad() {
+	for _, t := range n.weights() {
+		t.ZeroGrad()
+	}
+}
+
+// Clone returns a deep copy of the network.
+func (n *GRUNet) Clone() *GRUNet {
+	return &GRUNet{
+		In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses,
+		Wz: n.Wz.Clone(), Uz: n.Uz.Clone(), Bz: n.Bz.Clone(),
+		Wr: n.Wr.Clone(), Ur: n.Ur.Clone(), Br: n.Br.Clone(),
+		Wc: n.Wc.Clone(), Uc: n.Uc.Clone(), Bc: n.Bc.Clone(),
+		Wout: n.Wout.Clone(), Bout: n.Bout.Clone(),
+	}
+}
+
+// stepTrace captures one step's intermediates for backpropagation.
+type stepTrace struct {
+	x, hPrev, z, r, c, h, rh []float64
+}
+
+// Step advances the GRU one time step: given the previous hidden state hPrev
+// and input x, it writes the next hidden state into hOut (which may alias
+// hPrev). This is the O(1) incremental prediction path of §III-C: with the
+// hidden state cached per page, a prediction costs exactly one Step plus one
+// Logits call, regardless of how long the page's history is.
+func (n *GRUNet) Step(hPrev, x, hOut []float64) {
+	h := n.Hidden
+	z := make([]float64, h)
+	r := make([]float64, h)
+	c := make([]float64, h)
+	n.stepInto(hPrev, x, z, r, c, hOut)
+}
+
+func (n *GRUNet) stepInto(hPrev, x, z, r, c, hOut []float64) {
+	matVec(n.Wz, x, z)
+	matVecAdd(n.Uz, hPrev, z)
+	matVec(n.Wr, x, r)
+	matVecAdd(n.Ur, hPrev, r)
+	for i := range z {
+		z[i] = sigmoid(z[i] + n.Bz.Data[i])
+		r[i] = sigmoid(r[i] + n.Br.Data[i])
+	}
+	rh := make([]float64, n.Hidden)
+	for i := range rh {
+		rh[i] = r[i] * hPrev[i]
+	}
+	matVec(n.Wc, x, c)
+	matVecAdd(n.Uc, rh, c)
+	for i := range c {
+		c[i] = tanh(c[i] + n.Bc.Data[i])
+	}
+	for i := range c {
+		hOut[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
+	}
+}
+
+func tanh(v float64) float64 { return math.Tanh(v) }
+
+// Logits applies the fully connected output layer to a hidden state.
+func (n *GRUNet) Logits(h []float64) []float64 {
+	out := make([]float64, n.NumClasses)
+	matVec(n.Wout, h, out)
+	for i := range out {
+		out[i] += n.Bout.Data[i]
+	}
+	return out
+}
+
+// Predict runs a full sequence from a zero hidden state and returns the
+// argmax class of the final step.
+func (n *GRUNet) Predict(seq [][]float64) int {
+	h := make([]float64, n.Hidden)
+	for _, x := range seq {
+		n.Step(h, x, h)
+	}
+	return Argmax(n.Logits(h))
+}
+
+// PredictFrom runs one incremental step from a cached hidden state and
+// returns (class, new hidden state).
+func (n *GRUNet) PredictFrom(hPrev, x []float64) (int, []float64) {
+	h := make([]float64, n.Hidden)
+	n.Step(hPrev, x, h)
+	return Argmax(n.Logits(h)), h
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// forward runs a sequence keeping per-step traces for BPTT and returns the
+// traces and the final hidden state.
+func (n *GRUNet) forward(seq [][]float64) ([]stepTrace, []float64) {
+	h := make([]float64, n.Hidden)
+	traces := make([]stepTrace, 0, len(seq))
+	for _, x := range seq {
+		tr := stepTrace{
+			x:     x,
+			hPrev: append([]float64(nil), h...),
+			z:     make([]float64, n.Hidden),
+			r:     make([]float64, n.Hidden),
+			c:     make([]float64, n.Hidden),
+			h:     make([]float64, n.Hidden),
+		}
+		n.stepInto(tr.hPrev, x, tr.z, tr.r, tr.c, tr.h)
+		tr.rh = make([]float64, n.Hidden)
+		for i := range tr.rh {
+			tr.rh[i] = tr.r[i] * tr.hPrev[i]
+		}
+		h = tr.h
+		traces = append(traces, tr)
+	}
+	return traces, h
+}
+
+// backward backpropagates dh (gradient w.r.t. the final hidden state)
+// through the recorded traces, accumulating parameter gradients.
+func (n *GRUNet) backward(traces []stepTrace, dh []float64) {
+	H := n.Hidden
+	daZ := make([]float64, H)
+	daR := make([]float64, H)
+	daC := make([]float64, H)
+	drh := make([]float64, H)
+	for t := len(traces) - 1; t >= 0; t-- {
+		tr := &traces[t]
+		dhPrev := make([]float64, H)
+		for i := 0; i < H; i++ {
+			z, r, c := tr.z[i], tr.r[i], tr.c[i]
+			daC[i] = dh[i] * z * (1 - c*c)
+			daZ[i] = dh[i] * (c - tr.hPrev[i]) * z * (1 - z)
+			dhPrev[i] = dh[i] * (1 - z)
+			_ = r
+		}
+		outerAddGrad(n.Wc, daC, tr.x)
+		outerAddGrad(n.Uc, daC, tr.rh)
+		addGrad(n.Bc, daC)
+		for i := range drh {
+			drh[i] = 0
+		}
+		matTVecAdd(n.Uc, daC, drh)
+		for i := 0; i < H; i++ {
+			r := tr.r[i]
+			dhPrev[i] += drh[i] * r
+			daR[i] = drh[i] * tr.hPrev[i] * r * (1 - r)
+		}
+		outerAddGrad(n.Wz, daZ, tr.x)
+		outerAddGrad(n.Uz, daZ, tr.hPrev)
+		addGrad(n.Bz, daZ)
+		outerAddGrad(n.Wr, daR, tr.x)
+		outerAddGrad(n.Ur, daR, tr.hPrev)
+		addGrad(n.Br, daR)
+		matTVecAdd(n.Uz, daZ, dhPrev)
+		matTVecAdd(n.Ur, daR, dhPrev)
+		dh = dhPrev
+	}
+}
+
+// --- SequenceModel conformance ---
+
+// InputSize implements SequenceModel.
+func (n *GRUNet) InputSize() int { return n.In }
+
+// StateSize implements SequenceModel: the GRU persists its hidden vector.
+func (n *GRUNet) StateSize() int { return n.Hidden }
+
+// NumOutputs implements SequenceModel.
+func (n *GRUNet) NumOutputs() int { return n.NumClasses }
+
+// StepState implements SequenceModel.
+func (n *GRUNet) StepState(statePrev, x, stateOut []float64) { n.Step(statePrev, x, stateOut) }
+
+// LogitsFromState implements SequenceModel.
+func (n *GRUNet) LogitsFromState(state []float64) []float64 { return n.Logits(state) }
+
+// CloneModel implements SequenceModel.
+func (n *GRUNet) CloneModel() SequenceModel { return n.Clone() }
+
+// QuantizeModel implements SequenceModel.
+func (n *GRUNet) QuantizeModel() SequenceModel { return n.Quantize() }
+
+// AccumulateGradients implements SequenceModel: forward + BPTT for one
+// labeled sequence, accumulating parameter gradients.
+func (n *GRUNet) AccumulateGradients(seq [][]float64, label int) float64 {
+	traces, h := n.forward(seq)
+	logits := n.Logits(h)
+	loss, dLogits := SoftmaxCrossEntropy(logits, label)
+	outerAddGrad(n.Wout, dLogits, h)
+	addGrad(n.Bout, dLogits)
+	dh := make([]float64, n.Hidden)
+	matTVecAdd(n.Wout, dLogits, dh)
+	n.backward(traces, dh)
+	return loss
+}

@@ -1,0 +1,321 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad estimates dLoss/dparam by central differences for one
+// parameter element.
+func numericalGrad(n *GRUNet, seq [][]float64, label int, t *Tensor, idx int) float64 {
+	const eps = 1e-5
+	orig := t.Data[idx]
+	lossAt := func(v float64) float64 {
+		t.Data[idx] = v
+		_, h := n.forward(seq)
+		logits := n.Logits(h)
+		loss, _ := SoftmaxCrossEntropy(logits, label)
+		return loss
+	}
+	plus := lossAt(orig + eps)
+	minus := lossAt(orig - eps)
+	t.Data[idx] = orig
+	return (plus - minus) / (2 * eps)
+}
+
+// TestGRUGradientCheck verifies the hand-written BPTT against finite
+// differences on every parameter tensor. This is the load-bearing
+// correctness test for the whole training stack.
+func TestGRUGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewGRUNet(3, 4, 2, rng)
+	seq := [][]float64{
+		{0.1, -0.4, 0.9},
+		{0.8, 0.2, -0.3},
+		{-0.5, 0.6, 0.1},
+	}
+	label := 1
+
+	// Analytic gradients.
+	n.ZeroGrad()
+	traces, h := n.forward(seq)
+	logits := n.Logits(h)
+	_, dLogits := SoftmaxCrossEntropy(logits, label)
+	outerAddGrad(n.Wout, dLogits, h)
+	addGrad(n.Bout, dLogits)
+	dh := make([]float64, n.Hidden)
+	matTVecAdd(n.Wout, dLogits, dh)
+	n.backward(traces, dh)
+
+	names := []string{"Wz", "Uz", "Bz", "Wr", "Ur", "Br", "Wc", "Uc", "Bc", "Wout", "Bout"}
+	for ti, tensor := range n.Params() {
+		for idx := 0; idx < len(tensor.Data); idx += 3 { // sample every 3rd element
+			want := numericalGrad(n, seq, label, tensor, idx)
+			got := tensor.Grad[idx]
+			diff := math.Abs(got - want)
+			tol := 1e-6 + 1e-4*math.Abs(want)
+			if diff > tol {
+				t.Fatalf("%s[%d]: analytic %g vs numeric %g (diff %g)", names[ti], idx, got, want, diff)
+			}
+		}
+	}
+}
+
+func TestGRUStepBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := NewGRUNet(5, 8, 2, rng)
+	h := make([]float64, 8)
+	for step := 0; step < 200; step++ {
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		n.Step(h, x, h)
+		for i, v := range h {
+			if v <= -1 || v >= 1 || math.IsNaN(v) {
+				t.Fatalf("step %d: h[%d] = %v escaped (-1,1)", step, i, v)
+			}
+		}
+	}
+}
+
+func TestGRUPredictFromMatchesFullSequence(t *testing.T) {
+	// The O(1) incremental prediction path (cached hidden state + one step)
+	// must agree with re-running the whole sequence from h0 = 0.
+	rng := rand.New(rand.NewSource(9))
+	n := NewGRUNet(4, 6, 2, rng)
+	var seq [][]float64
+	h := make([]float64, 6)
+	for step := 0; step < 10; step++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		seq = append(seq, x)
+		full := n.Predict(seq)
+		incr, hNext := n.PredictFrom(h, x)
+		if full != incr {
+			t.Fatalf("step %d: full-sequence %d vs incremental %d", step, full, incr)
+		}
+		h = hNext
+	}
+}
+
+func TestTrainLearnsSequenceTask(t *testing.T) {
+	// Task: label 1 iff the sum of first-feature values across the sequence
+	// exceeds 0 — requires integrating over time, so a working GRU should
+	// reach high accuracy while a broken recurrence would not.
+	rng := rand.New(rand.NewSource(10))
+	makeSample := func() Sample {
+		l := 3 + rng.Intn(5)
+		seq := make([][]float64, l)
+		sum := 0.0
+		for i := range seq {
+			v := rng.Float64()*2 - 1
+			sum += v
+			seq[i] = []float64{v, rng.Float64()}
+		}
+		label := 0
+		if sum > 0 {
+			label = 1
+		}
+		return Sample{Seq: seq, Label: label}
+	}
+	var train, test []Sample
+	for i := 0; i < 600; i++ {
+		train = append(train, makeSample())
+	}
+	for i := 0; i < 200; i++ {
+		test = append(test, makeSample())
+	}
+	n := NewGRUNet(2, 12, 2, rng)
+	opt := NewAdam(0.01)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 12
+	TrainEpochs(n, train, opt, cfg)
+	acc := EvalAccuracy(n, test)
+	if acc < 0.85 {
+		t.Fatalf("test accuracy %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var samples []Sample
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		samples = append(samples, Sample{Seq: [][]float64{{x}}, Label: label})
+	}
+	n := NewGRUNet(1, 6, 2, rng)
+	opt := NewAdam(0.02)
+	cfg := DefaultTrainConfig()
+	first := TrainEpochs(n, samples, opt, cfg)
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = TrainEpochs(n, samples, opt, cfg)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %.4f, last %.4f", first, last)
+	}
+}
+
+func TestTrainEpochsEmptyAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := NewGRUNet(2, 4, 2, rng)
+	opt := NewAdam(0.01)
+	if loss := TrainEpochs(n, nil, opt, DefaultTrainConfig()); loss != 0 {
+		t.Errorf("empty training loss = %v", loss)
+	}
+	// Empty sequences are skipped without panicking.
+	samples := []Sample{{Seq: nil, Label: 0}, {Seq: [][]float64{{1, 2}}, Label: 1}}
+	TrainEpochs(n, samples, opt, DefaultTrainConfig())
+	if EvalAccuracy(n, nil) != 0 {
+		t.Error("EvalAccuracy(nil) should be 0")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	logits := []float64{1.5, -0.3, 0.7}
+	label := 2
+	loss, grad := SoftmaxCrossEntropy(append([]float64(nil), logits...), label)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	// Gradient sums to zero and grad[label] is negative.
+	sum := 0.0
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("grad sum = %v, want 0", sum)
+	}
+	if grad[label] >= 0 {
+		t.Errorf("grad[label] = %v, want negative", grad[label])
+	}
+	// Numeric check.
+	const eps = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lp[i] += eps
+		lossP, _ := SoftmaxCrossEntropy(lp, label)
+		lm := append([]float64(nil), logits...)
+		lm[i] -= eps
+		lossM, _ := SoftmaxCrossEntropy(lm, label)
+		want := (lossP - lossM) / (2 * eps)
+		if math.Abs(grad[i]-want) > 1e-6 {
+			t.Errorf("grad[%d] = %v, numeric %v", i, grad[i], want)
+		}
+	}
+}
+
+func TestResampleBalanced(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 90; i++ {
+		samples = append(samples, Sample{Seq: [][]float64{{0}}, Label: 0})
+	}
+	for i := 0; i < 10; i++ {
+		samples = append(samples, Sample{Seq: [][]float64{{1}}, Label: 1})
+	}
+	out := ResampleBalanced(samples, 0, 1)
+	if len(out) != 20 {
+		t.Fatalf("len = %d, want 20", len(out))
+	}
+	pos := 0
+	for _, s := range out {
+		if s.Label == 1 {
+			pos++
+		}
+	}
+	if pos != 10 {
+		t.Errorf("positives = %d, want 10", pos)
+	}
+	capped := ResampleBalanced(samples, 4, 1)
+	if len(capped) != 8 {
+		t.Errorf("capped len = %d, want 8", len(capped))
+	}
+	if got := ResampleBalanced(samples[:90], 0, 1); len(got) != 0 {
+		t.Errorf("single-class resample len = %d, want 0", len(got))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := NewGRUNet(2, 3, 2, rng)
+	c := n.Clone()
+	n.Wz.Data[0] = 999
+	if c.Wz.Data[0] == 999 {
+		t.Error("Clone shares weight storage")
+	}
+}
+
+func BenchmarkGRUStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewGRUNet(20, 32, 2, rng)
+	h := make([]float64, 32)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(h, x, h)
+	}
+}
+
+func BenchmarkGRUTrainSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewGRUNet(20, 32, 2, rng)
+	opt := NewAdam(0.01)
+	seq := make([][]float64, 8)
+	for i := range seq {
+		seq[i] = make([]float64, 20)
+		for j := range seq[i] {
+			seq[i][j] = rng.Float64()
+		}
+	}
+	samples := []Sample{{Seq: seq, Label: 1}}
+	cfg := DefaultTrainConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainEpochs(n, samples, opt, cfg)
+	}
+}
+
+func TestTrainModelMatchesTrainEpochsForGRU(t *testing.T) {
+	// TrainModel (interface path) and TrainEpochs (GRU fast path) implement
+	// the same algorithm; with identical seeds they must produce identical
+	// weights.
+	rng1 := rand.New(rand.NewSource(99))
+	rng2 := rand.New(rand.NewSource(99))
+	a := NewGRUNet(2, 4, 2, rng1)
+	b := NewGRUNet(2, 4, 2, rng2)
+	var samples []Sample
+	srng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		x := srng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		samples = append(samples, Sample{Seq: [][]float64{{x, srng.Float64()}}, Label: label})
+	}
+	cfg := DefaultTrainConfig()
+	lossA := TrainEpochs(a, samples, NewAdam(0.01), cfg)
+	lossB := TrainModel(b, samples, NewAdam(0.01), cfg)
+	if math.Abs(lossA-lossB) > 1e-12 {
+		t.Fatalf("losses diverge: %v vs %v", lossA, lossB)
+	}
+	for ti := range a.Params() {
+		pa, pb := a.Params()[ti], b.Params()[ti]
+		for j := range pa.Data {
+			if math.Abs(pa.Data[j]-pb.Data[j]) > 1e-12 {
+				t.Fatalf("weights diverge at tensor %d elem %d", ti, j)
+			}
+		}
+	}
+}

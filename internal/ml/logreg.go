@@ -1,0 +1,110 @@
+package ml
+
+import "math/rand"
+
+// LogReg is the lightweight binary logistic-regression model used by
+// Algorithm 1 to score candidate classification thresholds: for each
+// candidate, the window's training data are labeled and a LogReg is trained;
+// the candidate with the highest evaluation accuracy wins.
+type LogReg struct {
+	W []float64
+	B float64
+}
+
+// NewLogReg returns a zero-initialized model for dim-dimensional inputs.
+func NewLogReg(dim int) *LogReg { return &LogReg{W: make([]float64, dim)} }
+
+// Prob returns P(label=1 | x).
+func (m *LogReg) Prob(x []float64) float64 {
+	s := m.B
+	for i, w := range m.W {
+		s += w * x[i]
+	}
+	return sigmoid(s)
+}
+
+// Predict returns the argmax class.
+func (m *LogReg) Predict(x []float64) int {
+	if m.Prob(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Train fits the model with mini-batch SGD for the given number of epochs.
+func (m *LogReg) Train(features [][]float64, labels []int, epochs int, lr float64, seed int64) {
+	if len(features) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(features))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x := features[idx]
+			y := float64(labels[idx])
+			err := m.Prob(x) - y
+			for i := range m.W {
+				m.W[i] -= lr * err * x[i]
+			}
+			m.B -= lr * err
+		}
+	}
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m *LogReg) Accuracy(features [][]float64, labels []int) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range features {
+		if m.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(features))
+}
+
+// TrainEvalLogReg implements Algorithm 1's TrainEvalLightModel: it trains a
+// logistic regression on a 70% split and returns held-out accuracy on the
+// remaining 30% (falling back to training accuracy for tiny sets). The split
+// is deterministic for the seed.
+func TrainEvalLogReg(features [][]float64, labels []int, seed int64) float64 {
+	n := len(features)
+	if n == 0 {
+		return 0
+	}
+	dim := len(features[0])
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	cut := n * 7 / 10
+	if cut < 1 || n-cut < 1 {
+		m := NewLogReg(dim)
+		m.Train(features, labels, 20, 0.1, seed)
+		return m.Accuracy(features, labels)
+	}
+	trF := make([][]float64, 0, cut)
+	trL := make([]int, 0, cut)
+	teF := make([][]float64, 0, n-cut)
+	teL := make([]int, 0, n-cut)
+	for i, idx := range order {
+		if i < cut {
+			trF = append(trF, features[idx])
+			trL = append(trL, labels[idx])
+		} else {
+			teF = append(teF, features[idx])
+			teL = append(teL, labels[idx])
+		}
+	}
+	m := NewLogReg(dim)
+	m.Train(trF, trL, 40, 0.1, seed)
+	return m.Accuracy(teF, teL)
+}

@@ -1,0 +1,244 @@
+package ml
+
+import "math/rand"
+
+// LSTMNet is a single-layer long short-term memory network with a fully
+// connected output head — one of the architectures explored in the paper's
+// design iterations before settling on the GRU (§III-B). Its persistent
+// per-page state is the concatenation [h ‖ c] (both bounded in (−1,1): h by
+// the output tanh·sigmoid product, c by an explicit clamp), so it can be
+// cached in the flash metadata entry like the GRU hidden state but needs
+// twice the bytes per hidden unit.
+//
+// Gate equations (per step):
+//
+//	i = σ(Wi·x + Ui·h + bi)         input gate
+//	f = σ(Wf·x + Uf·h + bf)         forget gate
+//	o = σ(Wo·x + Uo·h + bo)         output gate
+//	g = tanh(Wg·x + Ug·h + bg)      candidate cell
+//	c' = clamp(f⊙c + i⊙g, −1, 1)
+//	h' = o ⊙ tanh(c')
+type LSTMNet struct {
+	In, Hidden, NumClasses int
+
+	Wi, Ui, Bi *Tensor
+	Wf, Uf, Bf *Tensor
+	Wo, Uo, Bo *Tensor
+	Wg, Ug, Bg *Tensor
+	Wout, Bout *Tensor
+}
+
+// NewLSTMNet builds a randomly initialized network.
+func NewLSTMNet(in, hidden, classes int, rng *rand.Rand) *LSTMNet {
+	n := &LSTMNet{
+		In: in, Hidden: hidden, NumClasses: classes,
+		Wi: NewTensor(hidden, in), Ui: NewTensor(hidden, hidden), Bi: NewTensor(1, hidden),
+		Wf: NewTensor(hidden, in), Uf: NewTensor(hidden, hidden), Bf: NewTensor(1, hidden),
+		Wo: NewTensor(hidden, in), Uo: NewTensor(hidden, hidden), Bo: NewTensor(1, hidden),
+		Wg: NewTensor(hidden, in), Ug: NewTensor(hidden, hidden), Bg: NewTensor(1, hidden),
+		Wout: NewTensor(classes, hidden), Bout: NewTensor(1, classes),
+	}
+	for _, t := range n.Params() {
+		t.InitXavier(rng)
+	}
+	// Forget-gate bias initialized positive, the standard LSTM trick for
+	// gradient flow early in training.
+	for i := range n.Bf.Data {
+		n.Bf.Data[i] = 1
+	}
+	return n
+}
+
+// Params implements SequenceModel.
+func (n *LSTMNet) Params() []*Tensor {
+	return []*Tensor{
+		n.Wi, n.Ui, n.Bi, n.Wf, n.Uf, n.Bf,
+		n.Wo, n.Uo, n.Bo, n.Wg, n.Ug, n.Bg,
+		n.Wout, n.Bout,
+	}
+}
+
+// ZeroGrad implements SequenceModel.
+func (n *LSTMNet) ZeroGrad() {
+	for _, t := range n.Params() {
+		t.ZeroGrad()
+	}
+}
+
+// InputSize implements SequenceModel.
+func (n *LSTMNet) InputSize() int { return n.In }
+
+// StateSize implements SequenceModel: h and c are both persisted.
+func (n *LSTMNet) StateSize() int { return 2 * n.Hidden }
+
+// NumOutputs implements SequenceModel.
+func (n *LSTMNet) NumOutputs() int { return n.NumClasses }
+
+// CloneModel implements SequenceModel.
+func (n *LSTMNet) CloneModel() SequenceModel {
+	c := &LSTMNet{In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses}
+	src := n.Params()
+	dst := []**Tensor{
+		&c.Wi, &c.Ui, &c.Bi, &c.Wf, &c.Uf, &c.Bf,
+		&c.Wo, &c.Uo, &c.Bo, &c.Wg, &c.Ug, &c.Bg,
+		&c.Wout, &c.Bout,
+	}
+	for i, t := range src {
+		*dst[i] = t.Clone()
+	}
+	return c
+}
+
+// QuantizeModel implements SequenceModel.
+func (n *LSTMNet) QuantizeModel() SequenceModel {
+	q := n.CloneModel().(*LSTMNet)
+	for _, t := range q.Params() {
+		QuantizeTensor(t)
+	}
+	return q
+}
+
+// lstmTrace captures one step's intermediates for backpropagation.
+type lstmTrace struct {
+	x, hPrev, cPrev, i, f, o, g, cRaw, c, tc, h []float64
+	clamped                                     []bool
+}
+
+func (n *LSTMNet) stepTraced(hPrev, cPrev, x []float64) lstmTrace {
+	H := n.Hidden
+	tr := lstmTrace{
+		x:     x,
+		hPrev: append([]float64(nil), hPrev...),
+		cPrev: append([]float64(nil), cPrev...),
+		i:     make([]float64, H), f: make([]float64, H),
+		o: make([]float64, H), g: make([]float64, H),
+		cRaw: make([]float64, H), c: make([]float64, H),
+		tc: make([]float64, H), h: make([]float64, H),
+		clamped: make([]bool, H),
+	}
+	matVec(n.Wi, x, tr.i)
+	matVecAdd(n.Ui, hPrev, tr.i)
+	matVec(n.Wf, x, tr.f)
+	matVecAdd(n.Uf, hPrev, tr.f)
+	matVec(n.Wo, x, tr.o)
+	matVecAdd(n.Uo, hPrev, tr.o)
+	matVec(n.Wg, x, tr.g)
+	matVecAdd(n.Ug, hPrev, tr.g)
+	for k := 0; k < H; k++ {
+		tr.i[k] = sigmoid(tr.i[k] + n.Bi.Data[k])
+		tr.f[k] = sigmoid(tr.f[k] + n.Bf.Data[k])
+		tr.o[k] = sigmoid(tr.o[k] + n.Bo.Data[k])
+		tr.g[k] = tanh(tr.g[k] + n.Bg.Data[k])
+		tr.cRaw[k] = tr.f[k]*cPrev[k] + tr.i[k]*tr.g[k]
+		tr.c[k] = tr.cRaw[k]
+		// Clamp the cell into (−1,1) so the persisted state stays int8-able.
+		if tr.c[k] > 0.999 {
+			tr.c[k] = 0.999
+			tr.clamped[k] = true
+		} else if tr.c[k] < -0.999 {
+			tr.c[k] = -0.999
+			tr.clamped[k] = true
+		}
+		tr.tc[k] = tanh(tr.c[k])
+		tr.h[k] = tr.o[k] * tr.tc[k]
+	}
+	return tr
+}
+
+// StepState implements SequenceModel: statePrev/stateOut are [h ‖ c].
+func (n *LSTMNet) StepState(statePrev, x, stateOut []float64) {
+	H := n.Hidden
+	tr := n.stepTraced(statePrev[:H], statePrev[H:2*H], x)
+	copy(stateOut[:H], tr.h)
+	copy(stateOut[H:2*H], tr.c)
+}
+
+// LogitsFromState implements SequenceModel.
+func (n *LSTMNet) LogitsFromState(state []float64) []float64 {
+	out := make([]float64, n.NumClasses)
+	matVec(n.Wout, state[:n.Hidden], out)
+	for i := range out {
+		out[i] += n.Bout.Data[i]
+	}
+	return out
+}
+
+// PredictFrom implements SequenceModel.
+func (n *LSTMNet) PredictFrom(statePrev, x []float64) (int, []float64) {
+	state := make([]float64, 2*n.Hidden)
+	n.StepState(statePrev, x, state)
+	return Argmax(n.LogitsFromState(state)), state
+}
+
+// Predict implements SequenceModel.
+func (n *LSTMNet) Predict(seq [][]float64) int {
+	state := make([]float64, 2*n.Hidden)
+	for _, x := range seq {
+		n.StepState(state, x, state)
+	}
+	return Argmax(n.LogitsFromState(state))
+}
+
+// AccumulateGradients implements SequenceModel (full BPTT).
+func (n *LSTMNet) AccumulateGradients(seq [][]float64, label int) float64 {
+	H := n.Hidden
+	h := make([]float64, H)
+	c := make([]float64, H)
+	traces := make([]lstmTrace, 0, len(seq))
+	for _, x := range seq {
+		tr := n.stepTraced(h, c, x)
+		h, c = tr.h, tr.c
+		traces = append(traces, tr)
+	}
+	logits := n.LogitsFromState(append(append([]float64(nil), h...), c...))
+	loss, dLogits := SoftmaxCrossEntropy(logits, label)
+	outerAddGrad(n.Wout, dLogits, h)
+	addGrad(n.Bout, dLogits)
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	matTVecAdd(n.Wout, dLogits, dh)
+
+	daI := make([]float64, H)
+	daF := make([]float64, H)
+	daO := make([]float64, H)
+	daG := make([]float64, H)
+	for t := len(traces) - 1; t >= 0; t-- {
+		tr := &traces[t]
+		dhPrev := make([]float64, H)
+		dcPrev := make([]float64, H)
+		for k := 0; k < H; k++ {
+			// h = o · tanh(c)
+			do := dh[k] * tr.tc[k]
+			dcTot := dc[k] + dh[k]*tr.o[k]*(1-tr.tc[k]*tr.tc[k])
+			if tr.clamped[k] {
+				dcTot = 0 // gradient does not flow through the clamp
+			}
+			di := dcTot * tr.g[k]
+			df := dcTot * tr.cPrev[k]
+			dg := dcTot * tr.i[k]
+			dcPrev[k] = dcTot * tr.f[k]
+			daI[k] = di * tr.i[k] * (1 - tr.i[k])
+			daF[k] = df * tr.f[k] * (1 - tr.f[k])
+			daO[k] = do * tr.o[k] * (1 - tr.o[k])
+			daG[k] = dg * (1 - tr.g[k]*tr.g[k])
+		}
+		outerAddGrad(n.Wi, daI, tr.x)
+		outerAddGrad(n.Ui, daI, tr.hPrev)
+		addGrad(n.Bi, daI)
+		outerAddGrad(n.Wf, daF, tr.x)
+		outerAddGrad(n.Uf, daF, tr.hPrev)
+		addGrad(n.Bf, daF)
+		outerAddGrad(n.Wo, daO, tr.x)
+		outerAddGrad(n.Uo, daO, tr.hPrev)
+		addGrad(n.Bo, daO)
+		outerAddGrad(n.Wg, daG, tr.x)
+		outerAddGrad(n.Ug, daG, tr.hPrev)
+		addGrad(n.Bg, daG)
+		matTVecAdd(n.Ui, daI, dhPrev)
+		matTVecAdd(n.Uf, daF, dhPrev)
+		matTVecAdd(n.Uo, daO, dhPrev)
+		matTVecAdd(n.Ug, daG, dhPrev)
+		dh, dc = dhPrev, dcPrev
+	}
+	return loss
+}

@@ -1,0 +1,181 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGradModel estimates dLoss/dparam by central differences.
+func numericalGradModel(m SequenceModel, seq [][]float64, label int, t *Tensor, idx int) float64 {
+	const eps = 1e-5
+	orig := t.Data[idx]
+	lossAt := func(v float64) float64 {
+		t.Data[idx] = v
+		probe := m.CloneModel()
+		probe.ZeroGrad()
+		loss := probe.AccumulateGradients(seq, label)
+		return loss
+	}
+	plus := lossAt(orig + eps)
+	minus := lossAt(orig - eps)
+	t.Data[idx] = orig
+	return (plus - minus) / (2 * eps)
+}
+
+func gradCheckModel(t *testing.T, m SequenceModel, seq [][]float64, label int) {
+	t.Helper()
+	m.ZeroGrad()
+	m.AccumulateGradients(seq, label)
+	for ti, tensor := range m.Params() {
+		for idx := 0; idx < len(tensor.Data); idx += 5 {
+			want := numericalGradModel(m, seq, label, tensor, idx)
+			got := tensor.Grad[idx]
+			diff := math.Abs(got - want)
+			tol := 1e-6 + 1e-4*math.Abs(want)
+			if diff > tol {
+				t.Fatalf("param %d elem %d: analytic %g vs numeric %g", ti, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestLSTMGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := NewLSTMNet(3, 4, 2, rng)
+	seq := [][]float64{
+		{0.2, -0.7, 0.1},
+		{0.9, 0.3, -0.5},
+		{-0.2, 0.8, 0.4},
+	}
+	gradCheckModel(t, n, seq, 1)
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := NewMLPNet(4, 6, 2, rng)
+	seq := [][]float64{{0.3, -0.1, 0.8, 0.5}}
+	gradCheckModel(t, n, seq, 0)
+}
+
+func TestLSTMStateBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := NewLSTMNet(5, 8, 2, rng)
+	state := make([]float64, n.StateSize())
+	for step := 0; step < 300; step++ {
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		n.StepState(state, x, state)
+		for i, v := range state {
+			if v <= -1 || v >= 1 || math.IsNaN(v) {
+				t.Fatalf("step %d: state[%d] = %v escaped (-1,1)", step, i, v)
+			}
+		}
+	}
+}
+
+func TestLSTMPredictFromMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := NewLSTMNet(3, 5, 2, rng)
+	var seq [][]float64
+	state := make([]float64, n.StateSize())
+	for step := 0; step < 8; step++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		seq = append(seq, x)
+		full := n.Predict(seq)
+		incr, next := n.PredictFrom(state, x)
+		if full != incr {
+			t.Fatalf("step %d: full %d vs incremental %d", step, full, incr)
+		}
+		state = next
+	}
+}
+
+// TestModelsLearnSequenceTask compares the three architectures on the
+// sum-over-time task: the recurrent models must learn it; the stateless MLP
+// (which sees only the last step) cannot — reproducing why the paper's
+// design iterations favoured sequence models (§III-B, §V-C).
+func TestModelsLearnSequenceTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	makeSample := func() Sample {
+		l := 3 + rng.Intn(5)
+		seq := make([][]float64, l)
+		sum := 0.0
+		for i := range seq {
+			v := rng.Float64()*2 - 1
+			sum += v
+			seq[i] = []float64{v, rng.Float64()}
+		}
+		label := 0
+		if sum > 0 {
+			label = 1
+		}
+		return Sample{Seq: seq, Label: label}
+	}
+	var train, test []Sample
+	for i := 0; i < 500; i++ {
+		train = append(train, makeSample())
+	}
+	for i := 0; i < 200; i++ {
+		test = append(test, makeSample())
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 12
+	accOf := func(m SequenceModel) float64 {
+		TrainModel(m, train, NewAdam(0.01), cfg)
+		return EvalModelAccuracy(m, test)
+	}
+	gru := accOf(NewGRUNet(2, 12, 2, rand.New(rand.NewSource(1))))
+	lstm := accOf(NewLSTMNet(2, 12, 2, rand.New(rand.NewSource(2))))
+	mlp := accOf(NewMLPNet(2, 12, 2, rand.New(rand.NewSource(3))))
+	t.Logf("accuracy: gru=%.3f lstm=%.3f mlp=%.3f", gru, lstm, mlp)
+	if gru < 0.85 {
+		t.Errorf("GRU accuracy %.3f < 0.85", gru)
+	}
+	if lstm < 0.80 {
+		t.Errorf("LSTM accuracy %.3f < 0.80", lstm)
+	}
+	if mlp > 0.75 {
+		t.Errorf("stateless MLP accuracy %.3f unexpectedly high on a memory task", mlp)
+	}
+	if mlp > gru || mlp > lstm {
+		t.Error("MLP should not beat the recurrent models on a memory task")
+	}
+}
+
+func TestQuantizeModelVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, m := range []SequenceModel{
+		NewLSTMNet(4, 6, 2, rng),
+		NewMLPNet(4, 6, 2, rng),
+	} {
+		q := m.QuantizeModel()
+		if q.StateSize() != m.StateSize() || q.InputSize() != m.InputSize() {
+			t.Errorf("quantized model changed shape")
+		}
+		// Quantization is idempotent on the grid.
+		for i, tensor := range q.Params() {
+			before := append([]float64(nil), tensor.Data...)
+			QuantizeTensor(q.Params()[i])
+			for j := range before {
+				if math.Abs(before[j]-q.Params()[i].Data[j]) > 1e-9 {
+					t.Fatalf("quantization not idempotent at %d/%d", i, j)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestMLPIgnoresHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := NewMLPNet(2, 4, 2, rng)
+	last := []float64{0.3, 0.9}
+	a := n.Predict([][]float64{{1, 1}, {0, 0}, last})
+	b := n.Predict([][]float64{last})
+	if a != b {
+		t.Error("MLP prediction depends on history")
+	}
+}

@@ -1,0 +1,120 @@
+package ml
+
+import "math/rand"
+
+// MLPNet is a stateless two-layer perceptron classifying each write from its
+// current feature vector alone — the "no history" end of the paper's model
+// design space (§III-B notes prev_lifetime alone reaches ~70% accuracy; the
+// sequence model adds the rest). It satisfies SequenceModel by exposing its
+// last hidden activation as the "state", but never reads the previous state:
+// Predict uses only the final element of the sequence.
+type MLPNet struct {
+	In, Hidden, NumClasses int
+
+	W1, B1     *Tensor
+	Wout, Bout *Tensor
+}
+
+// NewMLPNet builds a randomly initialized network.
+func NewMLPNet(in, hidden, classes int, rng *rand.Rand) *MLPNet {
+	n := &MLPNet{
+		In: in, Hidden: hidden, NumClasses: classes,
+		W1: NewTensor(hidden, in), B1: NewTensor(1, hidden),
+		Wout: NewTensor(classes, hidden), Bout: NewTensor(1, classes),
+	}
+	for _, t := range n.Params() {
+		t.InitXavier(rng)
+	}
+	return n
+}
+
+// Params implements SequenceModel.
+func (n *MLPNet) Params() []*Tensor { return []*Tensor{n.W1, n.B1, n.Wout, n.Bout} }
+
+// ZeroGrad implements SequenceModel.
+func (n *MLPNet) ZeroGrad() {
+	for _, t := range n.Params() {
+		t.ZeroGrad()
+	}
+}
+
+// InputSize implements SequenceModel.
+func (n *MLPNet) InputSize() int { return n.In }
+
+// StateSize implements SequenceModel: the tanh hidden activation is exposed
+// (and int8-able) but never consumed.
+func (n *MLPNet) StateSize() int { return n.Hidden }
+
+// NumOutputs implements SequenceModel.
+func (n *MLPNet) NumOutputs() int { return n.NumClasses }
+
+// CloneModel implements SequenceModel.
+func (n *MLPNet) CloneModel() SequenceModel {
+	return &MLPNet{
+		In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses,
+		W1: n.W1.Clone(), B1: n.B1.Clone(),
+		Wout: n.Wout.Clone(), Bout: n.Bout.Clone(),
+	}
+}
+
+// QuantizeModel implements SequenceModel.
+func (n *MLPNet) QuantizeModel() SequenceModel {
+	q := n.CloneModel().(*MLPNet)
+	for _, t := range q.Params() {
+		QuantizeTensor(t)
+	}
+	return q
+}
+
+func (n *MLPNet) hiddenOf(x, out []float64) {
+	matVec(n.W1, x, out)
+	for i := range out {
+		out[i] = tanh(out[i] + n.B1.Data[i])
+	}
+}
+
+// StepState implements SequenceModel: stateless — the new state depends only
+// on x.
+func (n *MLPNet) StepState(_, x, stateOut []float64) { n.hiddenOf(x, stateOut) }
+
+// LogitsFromState implements SequenceModel.
+func (n *MLPNet) LogitsFromState(state []float64) []float64 {
+	out := make([]float64, n.NumClasses)
+	matVec(n.Wout, state, out)
+	for i := range out {
+		out[i] += n.Bout.Data[i]
+	}
+	return out
+}
+
+// PredictFrom implements SequenceModel.
+func (n *MLPNet) PredictFrom(_, x []float64) (int, []float64) {
+	h := make([]float64, n.Hidden)
+	n.hiddenOf(x, h)
+	return Argmax(n.LogitsFromState(h)), h
+}
+
+// Predict implements SequenceModel: only the last feature vector matters.
+func (n *MLPNet) Predict(seq [][]float64) int {
+	cls, _ := n.PredictFrom(nil, seq[len(seq)-1])
+	return cls
+}
+
+// AccumulateGradients implements SequenceModel.
+func (n *MLPNet) AccumulateGradients(seq [][]float64, label int) float64 {
+	x := seq[len(seq)-1]
+	h := make([]float64, n.Hidden)
+	n.hiddenOf(x, h)
+	logits := n.LogitsFromState(h)
+	loss, dLogits := SoftmaxCrossEntropy(logits, label)
+	outerAddGrad(n.Wout, dLogits, h)
+	addGrad(n.Bout, dLogits)
+	dh := make([]float64, n.Hidden)
+	matTVecAdd(n.Wout, dLogits, dh)
+	for i := range dh {
+		dh[i] *= 1 - h[i]*h[i] // through tanh
+	}
+	outerAddGrad(n.W1, dh, x)
+	addGrad(n.B1, dh)
+	return loss
+}

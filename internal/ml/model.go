@@ -1,0 +1,127 @@
+package ml
+
+// SequenceModel is the interface PHFTL's Page Classifier programs against,
+// abstracting the model architecture. The paper settled on a single-layer
+// GRU after "exploring a wide variety of machine learning models" (§III-B);
+// the LSTM and MLP implementations reproduce that design-space exploration
+// (see BenchmarkAblationModelArch).
+//
+// A model carries a persistent per-page state of StateSize float64 values
+// (bounded in (−1,1) so it can be cached as int8 in the flash metadata
+// entry). Stateless models report StateSize 0 behaviour by ignoring the
+// state.
+type SequenceModel interface {
+	// InputSize returns the feature-vector width.
+	InputSize() int
+	// StateSize returns the number of persisted state values per page.
+	StateSize() int
+	// NumOutputs returns the number of classes.
+	NumOutputs() int
+
+	// StepState advances the persistent state by one input, writing
+	// StateSize values into stateOut (which may alias statePrev).
+	StepState(statePrev, x, stateOut []float64)
+	// LogitsFromState computes class logits from a state.
+	LogitsFromState(state []float64) []float64
+	// PredictFrom advances one step from a cached state and returns
+	// (argmax class, new state).
+	PredictFrom(statePrev, x []float64) (int, []float64)
+	// Predict runs a whole sequence from the zero state.
+	Predict(seq [][]float64) int
+
+	// AccumulateGradients runs forward + backward for one labeled sequence,
+	// accumulating parameter gradients, and returns the sample loss.
+	AccumulateGradients(seq [][]float64, label int) float64
+
+	// Params exposes the learnable tensors for the optimizer.
+	Params() []*Tensor
+	// ZeroGrad clears accumulated gradients.
+	ZeroGrad()
+	// CloneModel returns an independent deep copy.
+	CloneModel() SequenceModel
+	// QuantizeModel returns a copy with parameters snapped to the int8 grid.
+	QuantizeModel() SequenceModel
+}
+
+// Compile-time conformance.
+var (
+	_ SequenceModel = (*GRUNet)(nil)
+	_ SequenceModel = (*LSTMNet)(nil)
+	_ SequenceModel = (*MLPNet)(nil)
+)
+
+// TrainModel trains any SequenceModel on the samples with Adam, mirroring
+// TrainEpochs (which remains for the GRU fast path).
+func TrainModel(m SequenceModel, samples []Sample, opt *Adam, cfg TrainConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	rng := newShuffler(cfg.Seed, len(samples))
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	lastLoss := 0.0
+	for e := 0; e < epochs; e++ {
+		order := rng.order()
+		total := 0.0
+		inBatch := 0
+		m.ZeroGrad()
+		for _, idx := range order {
+			s := samples[idx]
+			if len(s.Seq) == 0 {
+				continue
+			}
+			total += m.AccumulateGradients(s.Seq, s.Label)
+			inBatch++
+			if inBatch == batch {
+				opt.Update(m.Params(), inBatch)
+				m.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Update(m.Params(), inBatch)
+			m.ZeroGrad()
+		}
+		lastLoss = total / float64(len(order))
+	}
+	return lastLoss
+}
+
+// EvalModelAccuracy returns the fraction of samples classified correctly.
+func EvalModelAccuracy(m SequenceModel, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if m.Predict(s.Seq) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// shuffler produces fresh permutations per epoch, deterministically.
+type shuffler struct {
+	rng *randSource
+	ord []int
+}
+
+func newShuffler(seed int64, n int) *shuffler {
+	s := &shuffler{rng: newRandSource(seed), ord: make([]int, n)}
+	for i := range s.ord {
+		s.ord[i] = i
+	}
+	return s
+}
+
+func (s *shuffler) order() []int {
+	s.rng.shuffle(len(s.ord), func(i, j int) { s.ord[i], s.ord[j] = s.ord[j], s.ord[i] })
+	return s.ord
+}

@@ -1,0 +1,13 @@
+package ml
+
+import "math/rand"
+
+// randSource is a thin wrapper so training helpers share one seeded PRNG
+// without exposing math/rand in APIs.
+type randSource struct{ r *rand.Rand }
+
+func newRandSource(seed int64) *randSource {
+	return &randSource{r: rand.New(rand.NewSource(seed))}
+}
+
+func (s *randSource) shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }

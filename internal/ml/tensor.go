@@ -1,0 +1,127 @@
+// Package ml is a small, dependency-free machine-learning library built for
+// PHFTL's Page Classifier: a single-layer GRU sequence model with a fully
+// connected output head (§III-B of the paper), trained with backpropagation
+// through time under the Adam optimizer with cross-entropy loss, plus the
+// lightweight logistic-regression probes used by the classification-threshold
+// adjustment algorithm (Algorithm 1) and the 8-bit post-training quantization
+// applied before deploying the model to the device (§IV).
+//
+// Numeric features are encoded the way the paper describes: each hexadecimal
+// digit of a feature value becomes one input neuron.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix (or vector when Rows==1 or Cols==1)
+// holding parameters and their accumulated gradients.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(rows, cols int) *Tensor {
+	return &Tensor{
+		Rows: rows,
+		Cols: cols,
+		Data: make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+	}
+}
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// ZeroGrad clears the accumulated gradient.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// InitXavier fills the tensor with Xavier/Glorot-uniform values using rng.
+func (t *Tensor) InitXavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Clone returns a deep copy (gradients zeroed).
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// String describes the tensor shape.
+func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols) }
+
+// matVec computes out = W*x for W (m×n), x (n), out (m).
+func matVec(w *Tensor, x, out []float64) {
+	for r := 0; r < w.Rows; r++ {
+		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+		sum := 0.0
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		out[r] = sum
+	}
+}
+
+// matVecAdd computes out += W*x.
+func matVecAdd(w *Tensor, x, out []float64) {
+	for r := 0; r < w.Rows; r++ {
+		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+		sum := 0.0
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		out[r] += sum
+	}
+}
+
+// matTVecAdd computes out += Wᵀ*g for W (m×n), g (m), out (n).
+func matTVecAdd(w *Tensor, g, out []float64) {
+	for r := 0; r < w.Rows; r++ {
+		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+		gr := g[r]
+		if gr == 0 {
+			continue
+		}
+		for c, v := range row {
+			out[c] += v * gr
+		}
+	}
+}
+
+// outerAddGrad accumulates W.Grad += g ⊗ x (g is m, x is n, W is m×n).
+func outerAddGrad(w *Tensor, g, x []float64) {
+	for r := 0; r < w.Rows; r++ {
+		gr := g[r]
+		if gr == 0 {
+			continue
+		}
+		grow := w.Grad[r*w.Cols : (r+1)*w.Cols]
+		for c := range grow {
+			grow[c] += gr * x[c]
+		}
+	}
+}
+
+// addGrad accumulates b.Grad += g for a bias vector.
+func addGrad(b *Tensor, g []float64) {
+	for i := range g {
+		b.Grad[i] += g[i]
+	}
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }

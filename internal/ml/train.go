@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba) over a set of parameter tensors,
+// as used by PHFTL's Model Trainer (§III-B: "trained ... with the cross
+// entropy loss function and the Adam optimizer").
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	step int
+	m, v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Update applies one optimization step to params using their accumulated
+// gradients (scaled by 1/batch), then leaves gradients untouched — callers
+// should ZeroGrad afterwards.
+func (a *Adam) Update(params []*Tensor, batch int) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Data))
+			a.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	a.step++
+	scale := 1.0
+	if batch > 1 {
+		scale = 1.0 / float64(batch)
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// SoftmaxCrossEntropy returns the loss and the gradient w.r.t. the logits
+// for a single sample with integer label.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(logits))
+	for i, v := range logits {
+		probs[i] = math.Exp(v - maxL)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	loss := -math.Log(math.Max(probs[label], 1e-15))
+	grad := probs
+	grad[label] -= 1
+	return loss, grad
+}
+
+// Sample is one training example: a feature sequence and its binary label
+// (1 = short-living).
+type Sample struct {
+	Seq   [][]float64
+	Label int
+}
+
+// TrainConfig controls one training run.
+type TrainConfig struct {
+	Epochs    int     // paper: one epoch per window
+	BatchSize int     // mini-batch size
+	LR        float64 // Adam learning rate
+	Seed      int64   // shuffle seed for determinism
+}
+
+// DefaultTrainConfig mirrors the paper: one epoch, small batches.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 1, BatchSize: 32, LR: 0.01, Seed: 1}
+}
+
+// TrainEpochs trains the network in place on the samples and returns the
+// mean loss of the final epoch.
+func TrainEpochs(n *GRUNet, samples []Sample, opt *Adam, cfg TrainConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	lastLoss := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		inBatch := 0
+		n.ZeroGrad()
+		for _, idx := range order {
+			s := samples[idx]
+			if len(s.Seq) == 0 {
+				continue
+			}
+			traces, h := n.forward(s.Seq)
+			logits := n.Logits(h)
+			loss, dLogits := SoftmaxCrossEntropy(logits, s.Label)
+			total += loss
+			outerAddGrad(n.Wout, dLogits, h)
+			addGrad(n.Bout, dLogits)
+			dh := make([]float64, n.Hidden)
+			matTVecAdd(n.Wout, dLogits, dh)
+			n.backward(traces, dh)
+			inBatch++
+			if inBatch == batch {
+				opt.Update(n.Params(), inBatch)
+				n.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Update(n.Params(), inBatch)
+			n.ZeroGrad()
+		}
+		lastLoss = total / float64(len(order))
+	}
+	return lastLoss
+}
+
+// EvalAccuracy returns the fraction of samples whose argmax prediction
+// matches the label.
+func EvalAccuracy(n *GRUNet, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.Seq) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// ResampleBalanced returns a class-balanced subset of samples (paper,
+// Algorithm 1: "label and resample to a small, balanced training set"),
+// undersampling the majority class, capped at maxPerClass per class.
+// The selection is deterministic for a given seed.
+func ResampleBalanced(samples []Sample, maxPerClass int, seed int64) []Sample {
+	var pos, neg []int
+	for i, s := range samples {
+		if s.Label == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	n := len(pos)
+	if len(neg) < n {
+		n = len(neg)
+	}
+	if maxPerClass > 0 && n > maxPerClass {
+		n = maxPerClass
+	}
+	out := make([]Sample, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, samples[pos[i]], samples[neg[i]])
+	}
+	return out
+}

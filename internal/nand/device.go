@@ -1,0 +1,380 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageState is the lifecycle state of a physical page.
+type PageState uint8
+
+const (
+	// PageFree means the page has been erased and may be programmed.
+	PageFree PageState = iota
+	// PageValid means the page holds live data.
+	PageValid
+	// PageInvalid means the page holds stale data awaiting erase.
+	PageInvalid
+)
+
+// String returns a human-readable state name.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// OpKind identifies a flash operation reported to the device hook.
+type OpKind uint8
+
+const (
+	// OpRead is a page read.
+	OpRead OpKind = iota
+	// OpProgram is a page program.
+	OpProgram
+	// OpErase is a block erase.
+	OpErase
+)
+
+// String returns a human-readable operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Latency holds per-operation service times in nanoseconds, used by timing
+// models layered on top of the functional simulator. Defaults follow typical
+// TLC NAND figures.
+type Latency struct {
+	ReadNS    int64 // page read, e.g. 50 µs
+	ProgramNS int64 // page program, e.g. 600 µs
+	EraseNS   int64 // block erase, e.g. 3 ms
+}
+
+// DefaultLatency returns typical TLC NAND latencies.
+func DefaultLatency() Latency {
+	return Latency{ReadNS: 50_000, ProgramNS: 600_000, EraseNS: 3_000_000}
+}
+
+// Errors returned by device operations.
+var (
+	ErrOutOfRange      = errors.New("nand: address out of range")
+	ErrNotFree         = errors.New("nand: program target page is not free")
+	ErrNotSequential   = errors.New("nand: program violates in-block sequential order")
+	ErrReadFree        = errors.New("nand: read of an unwritten page")
+	ErrInvalidateState = errors.New("nand: invalidate of a non-valid page")
+	ErrEraseValid      = errors.New("nand: erase of a block holding valid pages")
+	ErrOOBTooLarge     = errors.New("nand: OOB payload exceeds geometry OOB size")
+	ErrDataTooLarge    = errors.New("nand: data payload exceeds geometry page size")
+)
+
+type page struct {
+	state PageState
+	lpn   LPN
+	oob   []byte
+	data  []byte // optional stored payload (metadata pages); nil for user data
+}
+
+type block struct {
+	pages     []page
+	writePtr  int // next page index to program (in-block sequential rule)
+	validCnt  int
+	eraseCnt  int
+	programed int // pages programmed since last erase
+}
+
+// Stats aggregates operation counts for the whole device.
+type Stats struct {
+	Reads    uint64
+	Programs uint64
+	Erases   uint64
+}
+
+// Device is a functional simulator of a NAND flash package.
+//
+// Device is not safe for concurrent use; the FTL layered on top serializes
+// access, matching a single firmware instance owning the media.
+type Device struct {
+	geo    Geometry
+	dies   [][]block // [die][blockInDie]
+	stats  Stats
+	lat    Latency
+	onOp   func(kind OpKind, p PPN)
+	strict bool // enforce in-block sequential programming
+}
+
+// NewDevice builds a device with the given geometry. All pages start free.
+func NewDevice(geo Geometry) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{geo: geo, lat: DefaultLatency(), strict: true}
+	d.dies = make([][]block, geo.Dies)
+	for i := range d.dies {
+		d.dies[i] = make([]block, geo.BlocksPerDie)
+		for j := range d.dies[i] {
+			d.dies[i][j].pages = make([]page, geo.PagesPerBlock)
+		}
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice that panics on invalid geometry; it is intended
+// for tests and examples with constant geometries.
+func MustNewDevice(geo Geometry) *Device {
+	d, err := NewDevice(geo)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Latency returns the device's per-operation service times.
+func (d *Device) Latency() Latency { return d.lat }
+
+// SetLatency overrides the per-operation service times.
+func (d *Device) SetLatency(l Latency) { d.lat = l }
+
+// SetOpHook installs a callback invoked after every successful flash
+// operation. Timing models use it to charge die service time. For OpErase
+// the PPN is the first page of the erased block.
+func (d *Device) SetOpHook(fn func(kind OpKind, p PPN)) { d.onOp = fn }
+
+// Stats returns a copy of the accumulated operation counts.
+func (d *Device) Stats() Stats { return d.stats }
+
+func (d *Device) blockOf(p PPN) (*block, int, error) {
+	if int(p) >= d.geo.TotalPages() {
+		return nil, 0, fmt.Errorf("%w: ppn %d", ErrOutOfRange, p)
+	}
+	die, blk, pg := d.geo.Split(p)
+	return &d.dies[die][blk], pg, nil
+}
+
+// Program writes a page. It records the logical identity lpn and an optional
+// OOB payload (copied). Programming must target a free page and, within a
+// block, must proceed in strictly ascending page order. User-data payloads
+// are not retained (WA experiments only need the page's identity); use
+// ProgramFull for pages whose data region must be readable back (metadata
+// pages).
+func (d *Device) Program(p PPN, lpn LPN, oob []byte) error {
+	return d.ProgramFull(p, lpn, nil, oob)
+}
+
+// ProgramFull writes a page retaining both a data payload (up to PageSize
+// bytes, copied) and an OOB payload.
+func (d *Device) ProgramFull(p PPN, lpn LPN, data, oob []byte) error {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return err
+	}
+	if len(oob) > d.geo.OOBSize {
+		return fmt.Errorf("%w: %d > %d", ErrOOBTooLarge, len(oob), d.geo.OOBSize)
+	}
+	if len(data) > d.geo.PageSize {
+		return fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), d.geo.PageSize)
+	}
+	pageRef := &b.pages[pg]
+	if pageRef.state != PageFree {
+		return fmt.Errorf("%w: ppn %d is %s", ErrNotFree, p, pageRef.state)
+	}
+	if d.strict && pg != b.writePtr {
+		return fmt.Errorf("%w: ppn %d (page %d, expected %d)", ErrNotSequential, p, pg, b.writePtr)
+	}
+	pageRef.state = PageValid
+	pageRef.lpn = lpn
+	if len(oob) > 0 {
+		pageRef.oob = append(pageRef.oob[:0], oob...)
+	} else {
+		pageRef.oob = nil
+	}
+	if len(data) > 0 {
+		pageRef.data = append(pageRef.data[:0], data...)
+	} else {
+		pageRef.data = nil
+	}
+	b.writePtr = pg + 1
+	b.validCnt++
+	b.programed++
+	d.stats.Programs++
+	if d.onOp != nil {
+		d.onOp(OpProgram, p)
+	}
+	return nil
+}
+
+// Read returns the logical identity and OOB payload stored in a page. The
+// page may be valid or invalid (an FTL may read stale pages during debugging
+// or GC races) but not free. The returned OOB slice aliases device memory and
+// must not be modified.
+func (d *Device) Read(p PPN) (LPN, []byte, error) {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return InvalidLPN, nil, err
+	}
+	pageRef := &b.pages[pg]
+	if pageRef.state == PageFree {
+		return InvalidLPN, nil, fmt.Errorf("%w: ppn %d", ErrReadFree, p)
+	}
+	d.stats.Reads++
+	if d.onOp != nil {
+		d.onOp(OpRead, p)
+	}
+	return pageRef.lpn, pageRef.oob, nil
+}
+
+// ReadFull returns the logical identity, stored data payload and OOB payload
+// of a non-free page. The returned slices alias device memory and must not
+// be modified.
+func (d *Device) ReadFull(p PPN) (LPN, []byte, []byte, error) {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return InvalidLPN, nil, nil, err
+	}
+	pageRef := &b.pages[pg]
+	if pageRef.state == PageFree {
+		return InvalidLPN, nil, nil, fmt.Errorf("%w: ppn %d", ErrReadFree, p)
+	}
+	d.stats.Reads++
+	if d.onOp != nil {
+		d.onOp(OpRead, p)
+	}
+	return pageRef.lpn, pageRef.data, pageRef.oob, nil
+}
+
+// Invalidate marks a valid page as stale (its logical page was overwritten or
+// trimmed).
+func (d *Device) Invalidate(p PPN) error {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return err
+	}
+	pageRef := &b.pages[pg]
+	if pageRef.state != PageValid {
+		return fmt.Errorf("%w: ppn %d is %s", ErrInvalidateState, p, pageRef.state)
+	}
+	pageRef.state = PageInvalid
+	b.validCnt--
+	return nil
+}
+
+// EraseBlock erases one block, freeing all its pages. Erasing a block that
+// still holds valid pages is refused: the FTL must migrate them first.
+func (d *Device) EraseBlock(die, blk int) error {
+	if die < 0 || die >= d.geo.Dies || blk < 0 || blk >= d.geo.BlocksPerDie {
+		return fmt.Errorf("%w: die %d block %d", ErrOutOfRange, die, blk)
+	}
+	b := &d.dies[die][blk]
+	if b.validCnt != 0 {
+		return fmt.Errorf("%w: die %d block %d has %d valid pages", ErrEraseValid, die, blk, b.validCnt)
+	}
+	for i := range b.pages {
+		b.pages[i] = page{}
+	}
+	b.writePtr = 0
+	b.programed = 0
+	b.eraseCnt++
+	d.stats.Erases++
+	if d.onOp != nil {
+		d.onOp(OpErase, d.geo.PPNOf(die, blk, 0))
+	}
+	return nil
+}
+
+// EraseSuperblock erases every block of a superblock across all dies.
+func (d *Device) EraseSuperblock(sb int) error {
+	if sb < 0 || sb >= d.geo.Superblocks() {
+		return fmt.Errorf("%w: superblock %d", ErrOutOfRange, sb)
+	}
+	for die := 0; die < d.geo.Dies; die++ {
+		if err := d.EraseBlock(die, sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State returns the state of a page.
+func (d *Device) State(p PPN) (PageState, error) {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return PageFree, err
+	}
+	return b.pages[pg].state, nil
+}
+
+// LPNAt returns the logical identity recorded in a non-free page without
+// counting a flash read (FTL-internal bookkeeping access).
+func (d *Device) LPNAt(p PPN) (LPN, error) {
+	b, pg, err := d.blockOf(p)
+	if err != nil {
+		return InvalidLPN, err
+	}
+	if b.pages[pg].state == PageFree {
+		return InvalidLPN, fmt.Errorf("%w: ppn %d", ErrReadFree, p)
+	}
+	return b.pages[pg].lpn, nil
+}
+
+// BlockValidCount returns the number of valid pages in a block.
+func (d *Device) BlockValidCount(die, blk int) (int, error) {
+	if die < 0 || die >= d.geo.Dies || blk < 0 || blk >= d.geo.BlocksPerDie {
+		return 0, fmt.Errorf("%w: die %d block %d", ErrOutOfRange, die, blk)
+	}
+	return d.dies[die][blk].validCnt, nil
+}
+
+// SuperblockValidCount returns the number of valid pages in a superblock.
+func (d *Device) SuperblockValidCount(sb int) (int, error) {
+	if sb < 0 || sb >= d.geo.Superblocks() {
+		return 0, fmt.Errorf("%w: superblock %d", ErrOutOfRange, sb)
+	}
+	total := 0
+	for die := 0; die < d.geo.Dies; die++ {
+		total += d.dies[die][sb].validCnt
+	}
+	return total, nil
+}
+
+// EraseCount returns the wear (erase cycles) of a block.
+func (d *Device) EraseCount(die, blk int) (int, error) {
+	if die < 0 || die >= d.geo.Dies || blk < 0 || blk >= d.geo.BlocksPerDie {
+		return 0, fmt.Errorf("%w: die %d block %d", ErrOutOfRange, die, blk)
+	}
+	return d.dies[die][blk].eraseCnt, nil
+}
+
+// MaxEraseCount returns the highest erase count across all blocks, a proxy
+// for device wear.
+func (d *Device) MaxEraseCount() int {
+	maxErase := 0
+	for die := range d.dies {
+		for blk := range d.dies[die] {
+			if c := d.dies[die][blk].eraseCnt; c > maxErase {
+				maxErase = c
+			}
+		}
+	}
+	return maxErase
+}
+
+// TotalEraseCount returns the sum of erase counts across all blocks.
+func (d *Device) TotalEraseCount() uint64 { return d.stats.Erases }

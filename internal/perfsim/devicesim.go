@@ -1,0 +1,299 @@
+package perfsim
+
+import (
+	"fmt"
+
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/sim"
+	"github.com/phftl/phftl/internal/trace"
+)
+
+type pendingOp struct {
+	kind nand.OpKind
+	die  int
+}
+
+// Machine couples a functional FTL instance to the timing model: every flash
+// operation the FTL performs is charged to its die's queue, predictions are
+// charged to the dedicated classifier core, and request latencies emerge
+// from the resulting contention (GC bursts block host operations on the same
+// dies — the mechanism behind Figure 7's tail latencies).
+type Machine struct {
+	In     *sim.Instance
+	timing Timing
+	geo    nand.Geometry
+
+	dieFree  []int64 // next instant each die is idle
+	dieBusy  []int64 // cumulative service charged per die
+	coreFree int64   // classifier core (PHFTL only)
+
+	pending []pendingOp
+}
+
+// NewMachine builds a scheme over a hooked device. For SchemePHFTL the
+// classifier core is modeled; baselines skip prediction entirely.
+func NewMachine(scheme sim.Scheme, geo nand.Geometry, t Timing, opts *core.Options) (*Machine, error) {
+	dev, err := nand.NewDevice(geo)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		timing:  t,
+		geo:     geo,
+		dieFree: make([]int64, geo.Dies),
+		dieBusy: make([]int64, geo.Dies),
+	}
+	dev.SetOpHook(func(kind nand.OpKind, p nand.PPN) {
+		m.pending = append(m.pending, pendingOp{kind: kind, die: geo.DieOf(p)})
+	})
+	in, err := sim.BuildWithDevice(scheme, dev, geo, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.In = in
+	return m, nil
+}
+
+func (m *Machine) service(kind nand.OpKind) int64 {
+	switch kind {
+	case nand.OpRead:
+		return m.timing.ReadNS
+	case nand.OpProgram:
+		return m.timing.ProgramNS
+	default:
+		return m.timing.EraseNS
+	}
+}
+
+// WriteRequest runs one multi-page write arriving at arrivalNS through the
+// FTL and the timing model, returning the request latency in ns. The
+// command completes when every host data page has been programmed (the GC
+// and metadata work it triggered keeps the dies busy afterwards, delaying
+// future requests instead).
+func (m *Machine) WriteRequest(arrivalNS int64, lpns []nand.LPN, seq bool) (int64, error) {
+	start := arrivalNS + m.timing.CmdNS
+	dmaDone := start + int64(float64(len(lpns)*m.geo.PageSize)/m.timing.DMABytesPerNS)
+	hostFinish := dmaDone
+	for _, lpn := range lpns {
+		// Off-path prediction: runs on the classifier core as soon as the
+		// command arrives; the flash flush of this page waits for its
+		// prediction result (§III-C, decoupled completion).
+		var predDone int64
+		if m.In.PHFTL != nil {
+			s := maxI64(start, m.coreFree)
+			m.coreFree = s + m.timing.PredictNS
+			predDone = m.coreFree
+		}
+		m.pending = m.pending[:0]
+		if err := m.In.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: len(lpns), Seq: seq}); err != nil {
+			return 0, err
+		}
+		hostProgramSeen := false
+		for _, op := range m.pending {
+			svc := m.service(op.kind)
+			s := maxI64(dmaDone, m.dieFree[op.die])
+			if !hostProgramSeen && op.kind == nand.OpProgram {
+				// The first program of this FTL call is the host page.
+				if predDone > s {
+					s = predDone
+				}
+			}
+			f := s + svc
+			m.dieFree[op.die] = f
+			m.dieBusy[op.die] += svc
+			if !hostProgramSeen && op.kind == nand.OpProgram {
+				hostProgramSeen = true
+				if f > hostFinish {
+					hostFinish = f
+				}
+			}
+		}
+	}
+	return hostFinish + m.timing.CompletionNS - arrivalNS, nil
+}
+
+// ReadRequest runs one multi-page read arriving at arrivalNS.
+func (m *Machine) ReadRequest(arrivalNS int64, lpns []nand.LPN) (int64, error) {
+	start := arrivalNS + m.timing.CmdNS
+	finish := start
+	for _, lpn := range lpns {
+		m.pending = m.pending[:0]
+		if err := m.In.FTL.Read(lpn, len(lpns)); err != nil && err != ftl.ErrUnmapped {
+			return 0, err
+		}
+		for _, op := range m.pending {
+			svc := m.service(op.kind)
+			s := maxI64(start, m.dieFree[op.die])
+			f := s + svc
+			m.dieFree[op.die] = f
+			m.dieBusy[op.die] += svc
+			if f > finish {
+				finish = f
+			}
+		}
+	}
+	dma := int64(float64(len(lpns)*m.geo.PageSize) / m.timing.DMABytesPerNS)
+	return finish + dma + m.timing.CompletionNS - arrivalNS, nil
+}
+
+// Elapsed returns the device-time frontier (the busiest die's clock).
+func (m *Machine) Elapsed() int64 {
+	var e int64
+	for _, v := range m.dieFree {
+		if v > e {
+			e = v
+		}
+	}
+	return e
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// request is a record expanded to page lists.
+type request struct {
+	write bool
+	seq   bool
+	lpns  []nand.LPN
+}
+
+func expandRequests(records []trace.Record, pageSize, exported int) []request {
+	var out []request
+	var lastWriteEnd, lastReadEnd uint64
+	for _, r := range records {
+		if r.Size == 0 {
+			continue
+		}
+		first := r.Offset / uint64(pageSize)
+		last := (r.Offset + uint64(r.Size) - 1) / uint64(pageSize)
+		req := request{write: r.Op == trace.OpWrite}
+		if req.write {
+			req.seq = r.Offset == lastWriteEnd && lastWriteEnd != 0
+			lastWriteEnd = r.Offset + uint64(r.Size)
+		} else {
+			req.seq = r.Offset == lastReadEnd && lastReadEnd != 0
+			lastReadEnd = r.Offset + uint64(r.Size)
+		}
+		for p := first; p <= last; p++ {
+			req.lpns = append(req.lpns, nand.LPN(p%uint64(exported)))
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// BandwidthPoint is one phase-1 sample: average write bandwidth during one
+// drive write.
+type BandwidthPoint struct {
+	DriveWrite int
+	MBPerSec   float64
+}
+
+// RunPhase1 stress-loads the records through the machine with a closed-loop
+// worker pool (the paper uses 32 workers) and reports the write bandwidth of
+// each drive-write segment (Figure 7, top).
+func (m *Machine) RunPhase1(records []trace.Record, pageSize, workers int) ([]BandwidthPoint, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	exported := m.In.FTL.ExportedPages()
+	reqs := expandRequests(records, pageSize, exported)
+	workerFree := make([]int64, workers)
+	var points []BandwidthPoint
+	segPages := exported // one drive write per segment
+	pagesInSeg := 0
+	var segStart int64
+	for _, rq := range reqs {
+		// Next free worker issues the request.
+		wi := 0
+		for i := 1; i < workers; i++ {
+			if workerFree[i] < workerFree[wi] {
+				wi = i
+			}
+		}
+		arrival := workerFree[wi]
+		var lat int64
+		var err error
+		if rq.write {
+			lat, err = m.WriteRequest(arrival, rq.lpns, rq.seq)
+		} else {
+			lat, err = m.ReadRequest(arrival, rq.lpns)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("perfsim: phase1: %w", err)
+		}
+		workerFree[wi] = arrival + lat
+		if rq.write {
+			pagesInSeg += len(rq.lpns)
+			if pagesInSeg >= segPages {
+				end := m.Elapsed()
+				sec := float64(end-segStart) / 1e9
+				if sec > 0 {
+					points = append(points, BandwidthPoint{
+						DriveWrite: len(points) + 1,
+						MBPerSec:   float64(pagesInSeg*pageSize) / (1 << 20) / sec,
+					})
+				}
+				segStart = end
+				pagesInSeg = 0
+			}
+		}
+	}
+	return points, nil
+}
+
+// LatencyStats is the phase-2 distribution (Figure 7, bottom), in
+// milliseconds.
+type LatencyStats struct {
+	P50, P90, P99, P995, P999, Avg float64
+}
+
+// RunPhase2 replays the records open-loop at their recorded timestamps and
+// returns the write-latency distribution.
+func (m *Machine) RunPhase2(records []trace.Record, pageSize int) (LatencyStats, error) {
+	exported := m.In.FTL.ExportedPages()
+	reqs := expandRequests(records, pageSize, exported)
+	base := m.Elapsed() // continue after whatever load preceded phase 2
+	var t0 uint64
+	if len(records) > 0 {
+		t0 = records[0].Time
+	}
+	var lats []float64
+	ri := 0
+	for _, r := range records {
+		if r.Size == 0 {
+			continue
+		}
+		rq := reqs[ri]
+		ri++
+		arrival := base + int64(r.Time-t0)*1000
+		var lat int64
+		var err error
+		if rq.write {
+			lat, err = m.WriteRequest(arrival, rq.lpns, rq.seq)
+		} else {
+			lat, err = m.ReadRequest(arrival, rq.lpns)
+		}
+		if err != nil {
+			return LatencyStats{}, fmt.Errorf("perfsim: phase2: %w", err)
+		}
+		if rq.write {
+			lats = append(lats, float64(lat)/1e6)
+		}
+	}
+	if len(lats) == 0 {
+		return LatencyStats{}, fmt.Errorf("perfsim: phase2: no writes in trace")
+	}
+	p := metrics.Percentiles(lats, 50, 90, 99, 99.5, 99.9)
+	return LatencyStats{
+		P50: p[0], P90: p[1], P99: p[2], P995: p[3], P999: p[4],
+		Avg: metrics.Mean(lats),
+	}, nil
+}

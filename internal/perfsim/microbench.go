@@ -1,0 +1,77 @@
+package perfsim
+
+import (
+	"math/rand"
+
+	"github.com/phftl/phftl/internal/metrics"
+)
+
+// MicrobenchResult summarizes one (placement, request size) cell of
+// Figure 6.
+type MicrobenchResult struct {
+	Placement PredPlacement
+	ReqBytes  int
+	MeanNS    float64
+	StdDevNS  float64
+}
+
+// WriteLatencyMicrobench reproduces the Figure 6 experiment: n writes of
+// reqBytes each, offsets confined to the device RAM buffer so no flash
+// program is on the path, under the given prediction placement.
+//
+// Per request, the modeled path is:
+//
+//	stock:    cmd + DMA + completion
+//	sync:     cmd + pages·predict + DMA + completion   (prediction blocks)
+//	off-path: cmd + max(DMA, residual prediction backlog) + sync + completion
+//
+// Off-path prediction runs on the second core concurrently with the payload
+// DMA; because completion is decoupled from prediction, a backlog on the
+// prediction core never blocks the host — it only adds occasional
+// synchronization jitter (the paper notes higher standard deviation from
+// cross-core sharing).
+func WriteLatencyMicrobench(t Timing, place PredPlacement, reqBytes, pageSize, n int, seed int64) MicrobenchResult {
+	rng := rand.New(rand.NewSource(seed))
+	pages := (reqBytes + pageSize - 1) / pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	dma := float64(reqBytes) / t.DMABytesPerNS
+	lat := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := float64(t.CmdNS) + dma + float64(t.CompletionNS)
+		switch place {
+		case PredSync:
+			v += float64(pages) * float64(t.PredictNS)
+		case PredOffPath:
+			// Cross-core handoff plus occasional contention spikes from
+			// cache-line sharing between the two cores.
+			v += float64(t.SyncNS)
+			if rng.Float64() < 0.15 {
+				v += rng.Float64() * 3 * float64(t.SyncNS)
+			}
+		}
+		v *= 1 + (rng.Float64()*2-1)*t.NoiseFrac
+		lat = append(lat, v)
+	}
+	return MicrobenchResult{
+		Placement: place,
+		ReqBytes:  reqBytes,
+		MeanNS:    metrics.Mean(lat),
+		StdDevNS:  metrics.StdDev(lat),
+	}
+}
+
+// Fig6RequestSizes are the request sizes of Figure 6.
+var Fig6RequestSizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// RunFig6 sweeps Figure 6: every placement at every request size.
+func RunFig6(t Timing, pageSize, n int, seed int64) []MicrobenchResult {
+	var out []MicrobenchResult
+	for _, place := range []PredPlacement{PredNone, PredSync, PredOffPath} {
+		for _, sz := range Fig6RequestSizes {
+			out = append(out, WriteLatencyMicrobench(t, place, sz, pageSize, n, seed))
+		}
+	}
+	return out
+}

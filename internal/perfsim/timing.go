@@ -1,0 +1,83 @@
+// Package perfsim models the timing behaviour of the Cosmos+ OpenSSD
+// prototype (PHFTL-hw, §IV/§V-D): a dual-core controller in front of
+// multi-die NAND flash. It reproduces the two hardware experiments:
+//
+//   - Figure 6 (write-latency microbenchmark): fio-style writes confined to
+//     the device RAM buffer, comparing the stock FTL, PHFTL with prediction
+//     on the critical path ("sync"), and PHFTL with interleaved prediction
+//     and decoupled command completion ("off-path").
+//
+//   - Figure 7 (trace replay): phase-1 closed-loop bandwidth over 20 drive
+//     writes and phase-2 open-loop latency percentiles, where GC activity on
+//     the dies is what differentiates the schemes.
+//
+// The model charges the constants measured in the paper (≈9 µs per
+// prediction after SIMD tuning and 8-bit quantization) on top of a queueing
+// model of dies, DMA and controller cores.
+package perfsim
+
+// Timing holds the service-time constants of the modeled device, in
+// nanoseconds (and bytes/ns for DMA bandwidth).
+type Timing struct {
+	// Flash array.
+	ReadNS    int64 // page read
+	ProgramNS int64 // page program
+	EraseNS   int64 // block erase (charged per superblock erase per die)
+
+	// Controller.
+	CmdNS         int64   // NVMe command handling on the I/O core
+	CompletionNS  int64   // completion posting
+	DMABytesPerNS float64 // host<->device payload bandwidth
+	PredictNS     int64   // one Page Classifier prediction (paper: ~9 µs)
+	SyncNS        int64   // cross-core handoff overhead for off-path mode
+
+	// NoiseFrac adds uniform ±NoiseFrac jitter to per-request latency
+	// (electrical and firmware variation; gives Figure 6 its error bars).
+	NoiseFrac float64
+}
+
+// DefaultTiming mirrors the OpenSSD-class constants: TLC-like flash, PCIe
+// DMA around 2 GB/s, 9 µs predictions.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadNS:        60_000,
+		ProgramNS:     600_000,
+		EraseNS:       3_000_000,
+		CmdNS:         2_000,
+		CompletionNS:  500,
+		DMABytesPerNS: 2.5,
+		PredictNS:     9_000,
+		SyncNS:        500,
+		NoiseFrac:     0.05,
+	}
+}
+
+// PredPlacement selects where Page Classifier predictions run relative to
+// the I/O path (Figure 6's three bars).
+type PredPlacement int
+
+const (
+	// PredNone is the stock FTL: no predictions.
+	PredNone PredPlacement = iota
+	// PredSync runs predictions on the I/O core, on the critical path
+	// (PHFTL-hw (sync) in Figure 6).
+	PredSync
+	// PredOffPath runs predictions on a dedicated core, interleaved with
+	// the payload DMA, with command completion decoupled from prediction
+	// (PHFTL-hw in Figure 6).
+	PredOffPath
+)
+
+// String names the placement as in Figure 6.
+func (p PredPlacement) String() string {
+	switch p {
+	case PredNone:
+		return "Stock"
+	case PredSync:
+		return "PHFTL-hw (sync)"
+	case PredOffPath:
+		return "PHFTL-hw"
+	default:
+		return "PredPlacement(?)"
+	}
+}

@@ -1,0 +1,303 @@
+// Package rbtree implements a left-leaning red-black binary search tree used
+// as the ordered index of PHFTL's RAM metadata cache (the paper indexes the
+// cache by meta-page physical page number with a red-black tree).
+//
+// The tree is generic over ordered keys and arbitrary values and provides
+// O(log n) Get/Put/Delete plus ordered traversal helpers.
+package rbtree
+
+import "cmp"
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	color       color
+	size        int // nodes in subtree rooted here
+}
+
+// Tree is a left-leaning red-black BST. The zero value is an empty tree
+// ready to use.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] { return &Tree[K, V]{} }
+
+func (n *node[K, V]) isRed() bool { return n != nil && n.color == red }
+
+func size[K cmp.Ordered, V any](n *node[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K, V]) Len() int { return size(t.root) }
+
+// Get returns the value stored under key, and whether it was present.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts or replaces the value under key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	t.root = t.put(t.root, key, val)
+	t.root.color = black
+}
+
+func (t *Tree[K, V]) put(n *node[K, V], key K, val V) *node[K, V] {
+	if n == nil {
+		return &node[K, V]{key: key, val: val, color: red, size: 1}
+	}
+	switch {
+	case key < n.key:
+		n.left = t.put(n.left, key, val)
+	case key > n.key:
+		n.right = t.put(n.right, key, val)
+	default:
+		n.val = val
+	}
+	return fixUp(n)
+}
+
+func rotateLeft[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	x.size = h.size
+	h.size = size(h.left) + size(h.right) + 1
+	return x
+}
+
+func rotateRight[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	x.size = h.size
+	h.size = size(h.left) + size(h.right) + 1
+	return x
+}
+
+func flipColors[K cmp.Ordered, V any](h *node[K, V]) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+func fixUp[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	if h.right.isRed() && !h.left.isRed() {
+		h = rotateLeft(h)
+	}
+	if h.left.isRed() && h.left.left.isRed() {
+		h = rotateRight(h)
+	}
+	if h.left.isRed() && h.right.isRed() {
+		flipColors(h)
+	}
+	h.size = size(h.left) + size(h.right) + 1
+	return h
+}
+
+func moveRedLeft[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if h.right != nil && h.right.left.isRed() {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if h.left != nil && h.left.left.isRed() {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+// Delete removes key from the tree. It reports whether the key was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if !t.Contains(key) {
+		return false
+	}
+	if !t.root.left.isRed() && !t.root.right.isRed() {
+		t.root.color = red
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+	return true
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if key < h.key {
+		if !h.left.isRed() && h.left != nil && !h.left.left.isRed() {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if h.left.isRed() {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !h.right.isRed() && h.right != nil && !h.right.left.isRed() {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			m := minNode(h.right)
+			h.key = m.key
+			h.val = m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+func minNode[K cmp.Ordered, V any](n *node[K, V]) *node[K, V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func deleteMin[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !h.left.isRed() && !h.left.left.isRed() {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Min returns the smallest key and its value. ok is false for an empty tree.
+func (t *Tree[K, V]) Min() (key K, val V, ok bool) {
+	if t.root == nil {
+		return key, val, false
+	}
+	n := minNode(t.root)
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value. ok is false for an empty tree.
+func (t *Tree[K, V]) Max() (key K, val V, ok bool) {
+	if t.root == nil {
+		return key, val, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ascend calls fn for every key/value pair in ascending key order until fn
+// returns false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K cmp.Ordered, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.Len())
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// checkInvariants verifies BST order, no right-leaning red links, no
+// consecutive red links, and perfect black balance. Used by tests.
+func (t *Tree[K, V]) checkInvariants() bool {
+	if t.root == nil {
+		return true
+	}
+	if t.root.isRed() {
+		return false
+	}
+	blackDepth := -1
+	var walk func(n *node[K, V], depth int) bool
+	walk = func(n *node[K, V], depth int) bool {
+		if n == nil {
+			if blackDepth == -1 {
+				blackDepth = depth
+			}
+			return depth == blackDepth
+		}
+		if n.right.isRed() && !n.left.isRed() {
+			return false // right-leaning red link
+		}
+		if n.isRed() && n.left.isRed() {
+			return false // consecutive reds
+		}
+		if n.left != nil && n.left.key >= n.key {
+			return false
+		}
+		if n.right != nil && n.right.key <= n.key {
+			return false
+		}
+		if n.size != size(n.left)+size(n.right)+1 {
+			return false
+		}
+		d := depth
+		if !n.isRed() {
+			d++
+		}
+		return walk(n.left, d) && walk(n.right, d)
+	}
+	return walk(t.root, 0)
+}

@@ -1,0 +1,190 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, string]()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Error("Delete on empty tree returned true")
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := New[int, string]()
+	tr.Put(5, "five")
+	tr.Put(3, "three")
+	tr.Put(7, "seven")
+	if v, ok := tr.Get(3); !ok || v != "three" {
+		t.Errorf("Get(3) = %q, %v", v, ok)
+	}
+	tr.Put(3, "THREE")
+	if v, _ := tr.Get(3); v != "THREE" {
+		t.Errorf("after replace Get(3) = %q", v)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestMinMaxAndOrder(t *testing.T) {
+	tr := New[int, int]()
+	vals := []int{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	for _, v := range vals {
+		tr.Put(v, v*10)
+	}
+	if k, v, _ := tr.Min(); k != 1 || v != 10 {
+		t.Errorf("Min = %d,%d", k, v)
+	}
+	if k, v, _ := tr.Max(); k != 9 || v != 90 {
+		t.Errorf("Max = %d,%d", k, v)
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Errorf("Keys not sorted: %v", keys)
+	}
+	if len(keys) != len(vals) {
+		t.Errorf("len(Keys) = %d, want %d", len(keys), len(vals))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 10; i++ {
+		tr.Put(i, i)
+	}
+	var visited []int
+	tr.Ascend(func(k, _ int) bool {
+		visited = append(visited, k)
+		return k < 4
+	})
+	if len(visited) != 5 || visited[4] != 4 {
+		t.Errorf("visited = %v, want [0..4]", visited)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(i, i)
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if (i%2 == 0) == ok {
+			t.Errorf("Get(%d) present=%v after deleting evens", i, ok)
+		}
+	}
+	if !tr.checkInvariants() {
+		t.Error("invariants violated after deletions")
+	}
+	if tr.Delete(0) {
+		t.Error("double delete returned true")
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[uint32, int]()
+	ref := map[uint32]int{}
+	for i := 0; i < 5000; i++ {
+		k := uint32(rng.Intn(800))
+		if rng.Intn(3) == 0 {
+			delete(ref, k)
+			tr.Delete(k)
+		} else {
+			ref[k] = i
+			tr.Put(k, i)
+		}
+		if i%500 == 0 && !tr.checkInvariants() {
+			t.Fatalf("invariants violated at op %d", i)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if !tr.checkInvariants() {
+		t.Error("final invariants violated")
+	}
+}
+
+// Property: a tree built from any key set contains exactly that key set, in
+// sorted order, and satisfies red-black invariants.
+func TestTreeMatchesSetProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := New[uint16, bool]()
+		set := map[uint16]bool{}
+		for _, k := range keys {
+			tr.Put(k, true)
+			set[k] = true
+		}
+		if tr.Len() != len(set) {
+			return false
+		}
+		got := tr.Keys()
+		want := make([]uint16, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.checkInvariants()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreePut(b *testing.B) {
+	tr := New[uint32, int]()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint32(i*2654435761), i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New[uint32, int]()
+	for i := 0; i < 1<<16; i++ {
+		tr.Put(uint32(i*2654435761), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint32(i * 2654435761))
+	}
+}

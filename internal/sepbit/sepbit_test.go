@@ -1,0 +1,149 @@
+package sepbit
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/nand"
+)
+
+func testGeo() nand.Geometry {
+	return nand.Geometry{PageSize: 4096, OOBSize: 64, PagesPerBlock: 8, BlocksPerDie: 512, Dies: 2}
+}
+
+func TestFirstWriteGoesLong(t *testing.T) {
+	s := New(100)
+	stream, oob := s.PlaceUserWrite(ftl.UserWrite{LPN: 1}, 0)
+	if stream != streamUserLong {
+		t.Errorf("first write stream = %d, want long (%d)", stream, streamUserLong)
+	}
+	if oob != nil {
+		t.Error("sepbit should not attach OOB metadata")
+	}
+}
+
+func TestShortLifespanInferredShort(t *testing.T) {
+	s := New(100)
+	// Warm the average with long lifespans on another page.
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 2}, 0)
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 2}, 5000)
+	// Page 1: overwrite after 3 clock ticks — far below ℓ = avg/2.
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 1}, 100)
+	stream, _ := s.PlaceUserWrite(ftl.UserWrite{LPN: 1}, 103)
+	if stream != streamUserShort {
+		t.Errorf("short-lifespan write stream = %d, want short (%d)", stream, streamUserShort)
+	}
+	// Page 2 overwritten after a long gap: long stream.
+	stream, _ = s.PlaceUserWrite(ftl.UserWrite{LPN: 2}, 50000)
+	if stream != streamUserLong {
+		t.Errorf("long-lifespan write stream = %d, want long (%d)", stream, streamUserLong)
+	}
+}
+
+func TestThresholdAdapts(t *testing.T) {
+	s := New(10)
+	before := s.Threshold()
+	if before != initialThreshold {
+		t.Errorf("unseeded threshold = %v", before)
+	}
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 0}, 0)
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 0}, 10)
+	if got := s.Threshold(); got != 5 {
+		t.Errorf("threshold after lifespan 10 = %v, want 5", got)
+	}
+	// Repeated short lifespans drag the EWMA down.
+	clk := uint64(10)
+	for i := 0; i < 500; i++ {
+		clk += 2
+		s.PlaceUserWrite(ftl.UserWrite{LPN: 0}, clk)
+	}
+	if got := s.Threshold(); got > 5 {
+		t.Errorf("threshold did not adapt downward: %v", got)
+	}
+}
+
+func TestGCAgeBands(t *testing.T) {
+	s := New(10)
+	// Seed ℓ = 50 (avg 100).
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 0}, 0)
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 0}, 100)
+	if s.Threshold() != 50 {
+		t.Fatalf("ℓ = %v", s.Threshold())
+	}
+	// Page 1 written at clock 999 (lastWrite = 1000).
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 1}, 999)
+	cases := []struct {
+		clock  uint64
+		stream int
+	}{
+		{1000 + 100 - 1, streamGC0},   // age 100 < 200
+		{1000 + 300 - 1, streamGC1},   // 200 <= age < 800
+		{1000 + 1000 - 1, streamGC2},  // 800 <= age < 3200
+		{1000 + 10000 - 1, streamGC3}, // age >= 3200
+	}
+	for _, c := range cases {
+		stream, _ := s.PlaceGCWrite(1, nil, 1, c.clock)
+		if stream != c.stream {
+			t.Errorf("clock %d: stream = %d, want %d", c.clock, stream, c.stream)
+		}
+	}
+}
+
+func TestStreamGCClass(t *testing.T) {
+	s := New(1)
+	if s.StreamGCClass(streamUserShort) != 0 || s.StreamGCClass(streamUserLong) != 0 {
+		t.Error("user streams must be class 0")
+	}
+	for i, stream := range []int{streamGC0, streamGC1, streamGC2, streamGC3} {
+		if got := s.StreamGCClass(stream); got != i+1 {
+			t.Errorf("StreamGCClass(%d) = %d, want %d", stream, got, i+1)
+		}
+	}
+}
+
+// TestSepBITBeatsBaseOnSkewedWorkload is the end-to-end sanity check: SepBIT
+// must reduce WA versus Base on a hot/cold workload (the paper's Fig. 5
+// ordering Base > SepBIT).
+func TestSepBITBeatsBaseOnSkewedWorkload(t *testing.T) {
+	run := func(mk func(exported int) ftl.Separator) float64 {
+		cfg := ftl.DefaultConfig(testGeo())
+		probe, err := ftl.New(cfg, ftl.NewBaseSeparator(), ftl.CostBenefitPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exported := probe.ExportedPages()
+		f, err := ftl.New(cfg, mk(exported), ftl.CostBenefitPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77))
+		hot := exported / 50
+		for lpn := 0; lpn < exported; lpn++ {
+			if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6*exported; i++ {
+			var lpn int
+			if rng.Float64() < 0.8 {
+				lpn = rng.Intn(hot)
+			} else {
+				lpn = hot + rng.Intn(exported-hot)
+			}
+			if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().WA()
+	}
+	waBase := run(func(int) ftl.Separator { return ftl.NewBaseSeparator() })
+	waSepBIT := run(func(exported int) ftl.Separator { return New(exported) })
+	t.Logf("WA base=%.3f sepbit=%.3f", waBase, waSepBIT)
+	if waSepBIT >= waBase {
+		t.Fatalf("SepBIT WA %.3f >= Base WA %.3f", waSepBIT, waBase)
+	}
+}

@@ -1,0 +1,229 @@
+// Package sim glues the pieces into runnable experiments: it sizes device
+// geometries for the scaled-down drives, constructs each evaluated scheme
+// (Base, 2R, SepBIT, PHFTL) over the same geometry, replays traces, and
+// collects per-run results. The cmd/ harnesses and the benchmark suite are
+// thin wrappers over this package.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/sepbit"
+	"github.com/phftl/phftl/internal/trace"
+	"github.com/phftl/phftl/internal/tworegion"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+// Scheme identifies a data-separation scheme under evaluation.
+type Scheme string
+
+// The four schemes of Figure 5.
+const (
+	SchemeBase   Scheme = "Base"
+	Scheme2R     Scheme = "2R"
+	SchemeSepBIT Scheme = "SepBIT"
+	SchemePHFTL  Scheme = "PHFTL"
+)
+
+// Schemes returns the Figure 5 scheme set in presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBase, Scheme2R, SchemeSepBIT, SchemePHFTL}
+}
+
+// phftlStreams is the stream count PHFTL needs; geometries are sized for it
+// so every scheme shares one geometry.
+const phftlStreams = 7
+
+// GeometryForDrive sizes a device for a scaled drive: 4 dies, ~128-page
+// superblocks, 7% OP, and enough superblocks for PHFTL's GC reserve.
+func GeometryForDrive(exportedPages, pageSize int) nand.Geometry {
+	dies := 4
+	targetSBs := (exportedPages*107/100)/(dies*32) + 1
+	if targetSBs < 320 {
+		// Small drives need many (small) superblocks: the 7% OP spare must
+		// fund the GC floor plus garbage headroom in whole superblocks.
+		targetSBs = 320
+	}
+	return ftl.GeometryFor(exportedPages, 0.07, 1, phftlStreams, dies, targetSBs, pageSize, 64)
+}
+
+// Instance is one scheme instantiated over a device.
+type Instance struct {
+	Scheme Scheme
+	FTL    *ftl.FTL
+	PHFTL  *core.PHFTL // nil for baselines
+}
+
+// Build constructs a scheme over the geometry. PHFTL options apply only to
+// SchemePHFTL; pass nil for defaults.
+func Build(scheme Scheme, geo nand.Geometry, opts *core.Options) (*Instance, error) {
+	return BuildWithDevice(scheme, nil, geo, opts)
+}
+
+// BuildWithDevice is Build over a caller-supplied fresh device, letting
+// timing models install device hooks first. With a non-nil device, host
+// reads are charged as flash reads. A nil device allocates one.
+func BuildWithDevice(scheme Scheme, dev *nand.Device, geo nand.Geometry, opts *core.Options) (*Instance, error) {
+	cfg := ftl.DefaultConfig(geo)
+	newFTL := func(sep ftl.Separator) (*ftl.FTL, error) {
+		if dev == nil {
+			return ftl.New(cfg, sep, ftl.CostBenefitPolicy{})
+		}
+		cfg.CountHostReads = true
+		return ftl.NewWithDevice(cfg, dev, sep, ftl.CostBenefitPolicy{})
+	}
+	switch scheme {
+	case SchemePHFTL:
+		o := core.DefaultOptions()
+		if opts != nil {
+			o = *opts
+		}
+		f, p, err := core.BuildWithDevice(dev, geo, o)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Scheme: scheme, FTL: f, PHFTL: p}, nil
+	case SchemeBase:
+		f, err := newFTL(ftl.NewBaseSeparator())
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Scheme: scheme, FTL: f}, nil
+	case Scheme2R:
+		f, err := newFTL(tworegion.New())
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Scheme: scheme, FTL: f}, nil
+	case SchemeSepBIT:
+		probe, err := ftl.New(ftl.DefaultConfig(geo), ftl.NewBaseSeparator(), ftl.CostBenefitPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		f, err := newFTL(sepbit.New(probe.ExportedPages()))
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Scheme: scheme, FTL: f}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", scheme)
+	}
+}
+
+// BuildPHFTLWithPolicy constructs PHFTL under an alternative victim policy
+// (for the Adjusted Greedy ablation). policy is "adjusted", "greedy" or
+// "costbenefit".
+func BuildPHFTLWithPolicy(geo nand.Geometry, opts core.Options, policy string) (*Instance, error) {
+	if policy == "adjusted" {
+		f, p, err := core.Build(geo, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Scheme: SchemePHFTL, FTL: f, PHFTL: p}, nil
+	}
+	dataPages, metaPages, _ := core.MetaLayout(geo.PagesPerSuperblock(), geo.PageSize)
+	cfg := ftl.DefaultConfig(geo)
+	cfg.MetaPagesPerSB = metaPages
+	cfg.MaxGCClass = opts.GCStreams
+	exported := int(float64(geo.Superblocks()*dataPages) / (1 + cfg.OPRatio))
+	p, err := core.New(geo, exported, opts)
+	if err != nil {
+		return nil, err
+	}
+	var pol ftl.VictimPolicy
+	switch policy {
+	case "greedy":
+		pol = ftl.GreedyPolicy{}
+	case "costbenefit":
+		pol = ftl.CostBenefitPolicy{}
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", policy)
+	}
+	f, err := ftl.New(cfg, p, pol)
+	if err != nil {
+		return nil, err
+	}
+	p.Attach(f)
+	return &Instance{Scheme: SchemePHFTL, FTL: f, PHFTL: p}, nil
+}
+
+// Replay drives page-level operations through the instance. Unmapped reads
+// are ignored (hosts read zeroes).
+func (in *Instance) Replay(ops []trace.PageOp) error {
+	exported := in.FTL.ExportedPages()
+	for _, op := range ops {
+		lpn := nand.LPN(op.LPN % uint32(exported))
+		if op.Write {
+			if err := in.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: op.ReqPages, Seq: op.Seq}); err != nil {
+				return err
+			}
+		} else if err := in.FTL.Read(lpn, op.ReqPages); err != nil && err != ftl.ErrUnmapped {
+			return err
+		}
+	}
+	if in.PHFTL != nil {
+		if err := in.PHFTL.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish resolves outstanding classifier predictions.
+func (in *Instance) Finish() {
+	if in.PHFTL != nil {
+		in.PHFTL.Finish(in.FTL.Clock())
+	}
+}
+
+// Result is the outcome of one (profile, scheme) run.
+type Result struct {
+	Profile   string
+	Scheme    Scheme
+	WA        float64
+	DataWA    float64
+	FTLStats  ftl.Stats
+	Confusion *metrics.Confusion // nil for baselines
+	MetaStats core.MetaStats     // zero for baselines
+	Threshold float64
+}
+
+// RunProfile replays driveWrites full-drive writes of the profile's
+// synthetic trace under the scheme and returns the measurements. opts
+// customizes PHFTL (nil = defaults).
+func RunProfile(p workload.Profile, scheme Scheme, driveWrites int, opts *core.Options) (Result, error) {
+	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
+	in, err := Build(scheme, geo, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunOn(in, p, driveWrites)
+}
+
+// RunOn replays the profile on an existing instance.
+func RunOn(in *Instance, p workload.Profile, driveWrites int) (Result, error) {
+	gen := p.NewGenerator()
+	records := gen.Records(driveWrites * p.ExportedPages)
+	ops := trace.Expand(records, p.PageSize, p.ExportedPages)
+	if err := in.Replay(ops); err != nil {
+		return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
+	}
+	in.Finish()
+	res := Result{
+		Profile:  p.ID,
+		Scheme:   in.Scheme,
+		WA:       in.FTL.Stats().WA(),
+		DataWA:   in.FTL.Stats().DataWA(),
+		FTLStats: in.FTL.Stats(),
+	}
+	if in.PHFTL != nil {
+		res.Confusion = in.PHFTL.Confusion()
+		res.MetaStats = in.PHFTL.MetaStats()
+		res.Threshold = in.PHFTL.Threshold()
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+func smallProfile() workload.Profile {
+	// #144 keeps enough uniform cold churn that even short runs produce
+	// nonzero WA for every scheme.
+	p, ok := workload.ProfileByID("#144")
+	if !ok {
+		panic("missing profile")
+	}
+	p.ExportedPages = 4096
+	return p
+}
+
+func TestGeometryForDriveAcceptsAllSchemes(t *testing.T) {
+	for _, pages := range []int{4096, 16384} {
+		geo := GeometryForDrive(pages, 16384)
+		for _, s := range Schemes() {
+			in, err := Build(s, geo, nil)
+			if err != nil {
+				t.Fatalf("%s at %d pages: %v", s, pages, err)
+			}
+			if in.FTL.ExportedPages() < pages {
+				t.Errorf("%s: exported %d < requested %d", s, in.FTL.ExportedPages(), pages)
+			}
+		}
+	}
+}
+
+func TestBuildUnknownScheme(t *testing.T) {
+	geo := GeometryForDrive(4096, 16384)
+	if _, err := Build("Nope", geo, nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunProfileAllSchemes(t *testing.T) {
+	p := smallProfile()
+	var was []float64
+	for _, s := range Schemes() {
+		res, err := RunProfile(p, s, 3, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Scheme != s || res.Profile != p.ID {
+			t.Errorf("result identity: %+v", res)
+		}
+		if res.WA < 0 {
+			t.Errorf("%s: negative WA %v", s, res.WA)
+		}
+		if res.FTLStats.UserPageWrites == 0 {
+			t.Errorf("%s: no user writes recorded", s)
+		}
+		was = append(was, res.DataWA)
+	}
+	// Figure 5 ordering on this periodic profile: Base worst, PHFTL best.
+	base, phftl := was[0], was[3]
+	if phftl >= base {
+		t.Errorf("PHFTL data-WA %.3f not below Base %.3f", phftl, base)
+	}
+}
+
+func TestRunProfilePHFTLResultFields(t *testing.T) {
+	p := smallProfile()
+	res, err := RunProfile(p, SchemePHFTL, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion == nil || res.Confusion.Total() == 0 {
+		t.Fatal("missing classifier results")
+	}
+	if res.Threshold <= 0 {
+		t.Errorf("threshold = %v", res.Threshold)
+	}
+	if res.MetaStats.CacheHits+res.MetaStats.CacheMisses+res.MetaStats.OpenHits == 0 {
+		t.Error("no metadata retrievals recorded")
+	}
+}
+
+func TestRunProfileDeterminism(t *testing.T) {
+	p := smallProfile()
+	a, err := RunProfile(p, SchemePHFTL, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProfile(p, SchemePHFTL, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WA != b.WA || a.Confusion.Total() != b.Confusion.Total() {
+		t.Fatalf("non-deterministic: %v/%d vs %v/%d", a.WA, a.Confusion.Total(), b.WA, b.Confusion.Total())
+	}
+}
+
+func TestBuildPHFTLWithPolicy(t *testing.T) {
+	geo := GeometryForDrive(4096, 16384)
+	for _, pol := range []string{"adjusted", "greedy", "costbenefit"} {
+		in, err := BuildPHFTLWithPolicy(geo, core.DefaultOptions(), pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if in.PHFTL == nil {
+			t.Fatalf("%s: no PHFTL instance", pol)
+		}
+	}
+	if _, err := BuildPHFTLWithPolicy(geo, core.DefaultOptions(), "nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestSchemesOrder(t *testing.T) {
+	s := Schemes()
+	if len(s) != 4 || s[0] != SchemeBase || s[3] != SchemePHFTL {
+		t.Errorf("schemes = %v", s)
+	}
+}

@@ -1,0 +1,229 @@
+// Package trace models block-level I/O traces: the record format, CSV
+// parsing/writing (native and Alibaba-Cloud-style layouts), expansion of
+// byte-addressed requests into page-level operations with the request
+// context PHFTL's features need (io_len, is_seq), aggregate statistics, and
+// offline page-lifetime annotation used as ground truth for Table I.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Op is the request type.
+type Op byte
+
+const (
+	// OpRead is a host read.
+	OpRead Op = 'R'
+	// OpWrite is a host write.
+	OpWrite Op = 'W'
+)
+
+// Record is one block-level request.
+type Record struct {
+	Time   uint64 // arrival time in microseconds since trace start
+	Op     Op
+	Offset uint64 // byte offset
+	Size   uint32 // bytes
+}
+
+// PageOp is one page-granularity operation produced by expanding a Record,
+// carrying the per-request context PHFTL extracts features from.
+type PageOp struct {
+	LPN      uint32
+	Write    bool
+	ReqPages int    // pages in the parent request (io_len)
+	Seq      bool   // request starts where the previous request of same kind ended
+	Time     uint64 // parent request arrival time, µs
+}
+
+// Expand converts byte-addressed records into page-level operations for the
+// given page size, wrapping LPNs modulo drivePages so traces recorded on
+// larger drives can be replayed on scaled-down ones. A request is sequential
+// if its byte offset equals the end offset of the previous request of the
+// same kind, mirroring how firmware detects streams.
+func Expand(records []Record, pageSize int, drivePages int) []PageOp {
+	var out []PageOp
+	var lastWriteEnd, lastReadEnd uint64
+	for _, r := range records {
+		if r.Size == 0 {
+			continue
+		}
+		first := r.Offset / uint64(pageSize)
+		last := (r.Offset + uint64(r.Size) - 1) / uint64(pageSize)
+		n := int(last - first + 1)
+		seq := false
+		if r.Op == OpWrite {
+			seq = r.Offset == lastWriteEnd && lastWriteEnd != 0
+			lastWriteEnd = r.Offset + uint64(r.Size)
+		} else {
+			seq = r.Offset == lastReadEnd && lastReadEnd != 0
+			lastReadEnd = r.Offset + uint64(r.Size)
+		}
+		for p := first; p <= last; p++ {
+			out = append(out, PageOp{
+				LPN:      uint32(p % uint64(drivePages)),
+				Write:    r.Op == OpWrite,
+				ReqPages: n,
+				Seq:      seq,
+				Time:     r.Time,
+			})
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Reads, Writes           int
+	ReadBytes, WriteBytes   uint64
+	MinOffset, MaxOffsetEnd uint64
+	Duration                uint64 // µs between first and last record
+}
+
+// Summarize computes aggregate statistics.
+func Summarize(records []Record) Stats {
+	var s Stats
+	if len(records) == 0 {
+		return s
+	}
+	s.MinOffset = ^uint64(0)
+	first, last := records[0].Time, records[0].Time
+	for _, r := range records {
+		if r.Op == OpWrite {
+			s.Writes++
+			s.WriteBytes += uint64(r.Size)
+		} else {
+			s.Reads++
+			s.ReadBytes += uint64(r.Size)
+		}
+		if r.Offset < s.MinOffset {
+			s.MinOffset = r.Offset
+		}
+		if end := r.Offset + uint64(r.Size); end > s.MaxOffsetEnd {
+			s.MaxOffsetEnd = end
+		}
+		if r.Time < first {
+			first = r.Time
+		}
+		if r.Time > last {
+			last = r.Time
+		}
+	}
+	s.Duration = last - first
+	return s
+}
+
+// InfiniteLifetime marks a page write that is never overwritten within the
+// trace (read-only or written-once data).
+const InfiniteLifetime = ^uint32(0)
+
+// AnnotateLifetimes computes, for every page-level *write* in ops (in
+// order), its ground-truth lifetime: the number of logical page writes
+// between it and the next write to the same LPN, following the paper's
+// definition of the global page-write counter as a virtual clock (§III-B).
+// Writes never overwritten get InfiniteLifetime. The returned slice has one
+// entry per write op, in encounter order; read ops contribute no entry.
+func AnnotateLifetimes(ops []PageOp) []uint32 {
+	// First pass: index of previous write per LPN, patched forward.
+	type pending struct {
+		writeIdx int    // index into the result slice
+		clock    uint64 // virtual clock at that write
+	}
+	lastWrite := make(map[uint32]pending)
+	var lifetimes []uint32
+	var clock uint64
+	for _, op := range ops {
+		if !op.Write {
+			continue
+		}
+		clock++
+		if prev, ok := lastWrite[op.LPN]; ok {
+			lifetimes[prev.writeIdx] = uint32(clock - prev.clock)
+		}
+		lifetimes = append(lifetimes, InfiniteLifetime)
+		lastWrite[op.LPN] = pending{writeIdx: len(lifetimes) - 1, clock: clock}
+	}
+	return lifetimes
+}
+
+// ReadCSV parses trace records from r. Two layouts are accepted, detected
+// per row by field count:
+//
+//	4 fields (native):  timestamp_us,op,offset_bytes,size_bytes
+//	5 fields (Alibaba): device_id,op,offset_bytes,size_bytes,timestamp_us
+//
+// op is R/W (case-insensitive).
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1
+	var out []Record
+	line := 0
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+		}
+		line++
+		var rec Record
+		switch len(fields) {
+		case 4:
+			rec, err = parseFields(fields[0], fields[1], fields[2], fields[3])
+		case 5:
+			rec, err = parseFields(fields[4], fields[1], fields[2], fields[3])
+		default:
+			return nil, fmt.Errorf("trace: line %d: expected 4 or 5 fields, got %d", line, len(fields))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseFields(ts, op, off, size string) (Record, error) {
+	var rec Record
+	t, err := strconv.ParseUint(ts, 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad timestamp %q: %w", ts, err)
+	}
+	o, err := strconv.ParseUint(off, 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad offset %q: %w", off, err)
+	}
+	s, err := strconv.ParseUint(size, 10, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad size %q: %w", size, err)
+	}
+	switch op {
+	case "R", "r":
+		rec.Op = OpRead
+	case "W", "w":
+		rec.Op = OpWrite
+	default:
+		return rec, fmt.Errorf("bad op %q (want R or W)", op)
+	}
+	rec.Time = t
+	rec.Offset = o
+	rec.Size = uint32(s)
+	return rec, nil
+}
+
+// WriteCSV writes records in the native 4-field layout.
+func WriteCSV(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, "%d,%c,%d,%d\n", r.Time, r.Op, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandSplitsRequestsIntoPages(t *testing.T) {
+	recs := []Record{
+		{Time: 10, Op: OpWrite, Offset: 0, Size: 4096 * 3},
+		{Time: 20, Op: OpRead, Offset: 4096, Size: 4096},
+	}
+	ops := Expand(recs, 4096, 1000)
+	if len(ops) != 4 {
+		t.Fatalf("len = %d, want 4", len(ops))
+	}
+	for i := 0; i < 3; i++ {
+		op := ops[i]
+		if !op.Write || op.LPN != uint32(i) || op.ReqPages != 3 || op.Time != 10 {
+			t.Errorf("op[%d] = %+v", i, op)
+		}
+	}
+	if ops[3].Write || ops[3].LPN != 1 || ops[3].ReqPages != 1 {
+		t.Errorf("read op = %+v", ops[3])
+	}
+}
+
+func TestExpandUnalignedRequest(t *testing.T) {
+	// 100 bytes starting at byte 4000 straddles pages 0 and 1.
+	ops := Expand([]Record{{Op: OpWrite, Offset: 4000, Size: 200}}, 4096, 100)
+	if len(ops) != 2 || ops[0].LPN != 0 || ops[1].LPN != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	// Zero-size requests disappear.
+	if got := Expand([]Record{{Op: OpWrite, Offset: 0, Size: 0}}, 4096, 100); len(got) != 0 {
+		t.Errorf("zero-size produced %d ops", len(got))
+	}
+}
+
+func TestExpandSequentialDetection(t *testing.T) {
+	recs := []Record{
+		{Op: OpWrite, Offset: 4096, Size: 4096},  // not seq (first)
+		{Op: OpWrite, Offset: 8192, Size: 4096},  // seq: starts at prev end
+		{Op: OpRead, Offset: 0, Size: 4096},      // read stream independent
+		{Op: OpWrite, Offset: 12288, Size: 4096}, // still seq for writes
+		{Op: OpWrite, Offset: 0, Size: 4096},     // jump: not seq
+	}
+	ops := Expand(recs, 4096, 100)
+	wantSeq := []bool{false, true, false, true, false}
+	for i, w := range wantSeq {
+		if ops[i].Seq != w {
+			t.Errorf("op[%d].Seq = %v, want %v", i, ops[i].Seq, w)
+		}
+	}
+}
+
+func TestExpandWrapsLPNs(t *testing.T) {
+	ops := Expand([]Record{{Op: OpWrite, Offset: 4096 * 105, Size: 4096}}, 4096, 100)
+	if ops[0].LPN != 5 {
+		t.Errorf("LPN = %d, want 5 (105 mod 100)", ops[0].LPN)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Time: 100, Op: OpWrite, Offset: 0, Size: 8192},
+		{Time: 300, Op: OpRead, Offset: 8192, Size: 4096},
+	}
+	s := Summarize(recs)
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Errorf("counts = %d/%d", s.Writes, s.Reads)
+	}
+	if s.WriteBytes != 8192 || s.ReadBytes != 4096 {
+		t.Errorf("bytes = %d/%d", s.WriteBytes, s.ReadBytes)
+	}
+	if s.MaxOffsetEnd != 12288 || s.MinOffset != 0 {
+		t.Errorf("range = [%d,%d)", s.MinOffset, s.MaxOffsetEnd)
+	}
+	if s.Duration != 200 {
+		t.Errorf("duration = %d", s.Duration)
+	}
+	if empty := Summarize(nil); empty.Writes != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestAnnotateLifetimes(t *testing.T) {
+	// Write sequence of LPNs: 1, 2, 1, 3, 1 (virtual clock = write index+1).
+	mk := func(lpns ...uint32) []PageOp {
+		ops := make([]PageOp, len(lpns))
+		for i, l := range lpns {
+			ops[i] = PageOp{LPN: l, Write: true, ReqPages: 1}
+		}
+		return ops
+	}
+	lifetimes := AnnotateLifetimes(mk(1, 2, 1, 3, 1))
+	// Write 0 (lpn 1, clock 1) overwritten at clock 3: lifetime 2.
+	// Write 2 (lpn 1, clock 3) overwritten at clock 5: lifetime 2.
+	// Writes to lpn 2, 3 and the final lpn-1 write: infinite.
+	want := []uint32{2, InfiniteLifetime, 2, InfiniteLifetime, InfiniteLifetime}
+	if len(lifetimes) != len(want) {
+		t.Fatalf("len = %d", len(lifetimes))
+	}
+	for i := range want {
+		if lifetimes[i] != want[i] {
+			t.Errorf("lifetime[%d] = %d, want %d", i, lifetimes[i], want[i])
+		}
+	}
+}
+
+func TestAnnotateLifetimesIgnoresReads(t *testing.T) {
+	ops := []PageOp{
+		{LPN: 1, Write: true},
+		{LPN: 1, Write: false},
+		{LPN: 1, Write: true},
+	}
+	lifetimes := AnnotateLifetimes(ops)
+	if len(lifetimes) != 2 {
+		t.Fatalf("len = %d, want 2 (reads excluded)", len(lifetimes))
+	}
+	if lifetimes[0] != 1 {
+		t.Errorf("lifetime[0] = %d, want 1 (reads don't advance the clock)", lifetimes[0])
+	}
+}
+
+// Property: lifetimes are consistent — replaying the write sequence, each
+// finite lifetime must equal the gap to the next same-LPN write.
+func TestAnnotateLifetimesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ops := make([]PageOp, len(raw))
+		for i, b := range raw {
+			ops[i] = PageOp{LPN: uint32(b % 16), Write: true}
+		}
+		lifetimes := AnnotateLifetimes(ops)
+		for i := range ops {
+			if lifetimes[i] == InfiniteLifetime {
+				// Must be the last write to that LPN.
+				for j := i + 1; j < len(ops); j++ {
+					if ops[j].LPN == ops[i].LPN {
+						return false
+					}
+				}
+				continue
+			}
+			j := i + int(lifetimes[i])
+			if j >= len(ops) || ops[j].LPN != ops[i].LPN {
+				return false
+			}
+			for k := i + 1; k < j; k++ {
+				if ops[k].LPN == ops[i].LPN {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Op: OpWrite, Offset: 4096, Size: 8192},
+		{Time: 2, Op: OpRead, Offset: 0, Size: 512},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("rec[%d] = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVAlibabaLayout(t *testing.T) {
+	in := "3,W,8192,4096,123456\n3,r,0,512,123789\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Time != 123456 || got[0].Op != OpWrite || got[0].Offset != 8192 || got[0].Size != 4096 {
+		t.Errorf("rec[0] = %+v", got[0])
+	}
+	if got[1].Op != OpRead {
+		t.Errorf("rec[1].Op = %c", got[1].Op)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,W,0\n",                      // too few fields
+		"x,W,0,1\n",                    // bad timestamp
+		"1,X,0,1\n",                    // bad op
+		"1,W,abc,1\n",                  // bad offset
+		"1,W,0,99999999999999999999\n", // size overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package tworegion implements the 2R baseline (Kang et al., "2R:
+// Efficiently Isolating Cold Pages in Flash Storages", VLDB 2020) as
+// characterized in the PHFTL paper's evaluation: user writes and GC writes
+// are kept in two separate regions, exploiting the heuristic that pages
+// still valid at GC time are long-living (cold) and should not be remixed
+// with fresh, likely-hot user data.
+package tworegion
+
+import (
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/nand"
+)
+
+// Separator routes user writes to stream 0 and all GC migrations to
+// stream 1.
+type Separator struct {
+	ftl.NopSeparator
+}
+
+// New returns the 2R scheme.
+func New() *Separator { return &Separator{} }
+
+// Name implements ftl.Separator.
+func (*Separator) Name() string { return "2R" }
+
+// NumStreams implements ftl.Separator: one user region, one GC region.
+func (*Separator) NumStreams() int { return 2 }
+
+// StreamGCClass implements ftl.Separator: stream 1 holds GC'ed pages.
+func (*Separator) StreamGCClass(stream int) int {
+	if stream == 1 {
+		return 1
+	}
+	return 0
+}
+
+// PlaceUserWrite implements ftl.Separator.
+func (*Separator) PlaceUserWrite(ftl.UserWrite, uint64) (int, []byte) { return 0, nil }
+
+// PlaceGCWrite implements ftl.Separator.
+func (*Separator) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) { return 1, nil }

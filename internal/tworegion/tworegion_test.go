@@ -1,0 +1,71 @@
+package tworegion
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/nand"
+)
+
+func testGeo() nand.Geometry {
+	return nand.Geometry{PageSize: 4096, OOBSize: 64, PagesPerBlock: 8, BlocksPerDie: 512, Dies: 2}
+}
+
+func TestRouting(t *testing.T) {
+	s := New()
+	if stream, oob := s.PlaceUserWrite(ftl.UserWrite{LPN: 1}, 0); stream != 0 || oob != nil {
+		t.Errorf("user write -> stream %d oob %v", stream, oob)
+	}
+	if stream, _ := s.PlaceGCWrite(1, nil, 1, 0); stream != 1 {
+		t.Errorf("gc write -> stream %d, want 1", stream)
+	}
+	if s.NumStreams() != 2 {
+		t.Errorf("streams = %d", s.NumStreams())
+	}
+	if s.StreamGCClass(0) != 0 || s.StreamGCClass(1) != 1 {
+		t.Error("StreamGCClass wrong")
+	}
+	if s.Name() != "2R" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+// Test2RBeatsBaseOnSkewedWorkload checks the paper's Fig. 5 ordering
+// Base > 2R on a hot/cold mix: isolating GC survivors (cold pages) from
+// fresh user writes lowers WA.
+func Test2RBeatsBaseOnSkewedWorkload(t *testing.T) {
+	run := func(sep ftl.Separator) float64 {
+		cfg := ftl.DefaultConfig(testGeo())
+		f, err := ftl.New(cfg, sep, ftl.CostBenefitPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exported := f.ExportedPages()
+		rng := rand.New(rand.NewSource(77))
+		hot := exported / 50
+		for lpn := 0; lpn < exported; lpn++ {
+			if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6*exported; i++ {
+			var lpn int
+			if rng.Float64() < 0.8 {
+				lpn = rng.Intn(hot)
+			} else {
+				lpn = hot + rng.Intn(exported-hot)
+			}
+			if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats().WA()
+	}
+	waBase := run(ftl.NewBaseSeparator())
+	wa2R := run(New())
+	t.Logf("WA base=%.3f 2r=%.3f", waBase, wa2R)
+	if wa2R >= waBase {
+		t.Fatalf("2R WA %.3f >= Base WA %.3f", wa2R, waBase)
+	}
+}

@@ -1,0 +1,328 @@
+// Package workload synthesizes block-level traces with the statistical
+// structure of the Alibaba Cloud block traces the paper evaluates on (Li et
+// al., IISWC 2020): strongly skewed write footprints where a small hot set
+// receives most updates with near-periodic (and therefore learnable)
+// lifetimes, sequential overwrite streams (logs, compactions), uniform
+// random cold updates, read/write mixes, and slow workload drift (the hot
+// set migrates over time).
+//
+// Each of the paper's 20 evaluated drives (#52 ... #679) is modeled by a
+// Profile whose parameters were chosen to produce the same qualitative
+// behaviour class: low-WA sequential-dominated drives, high-WA mixed drives,
+// and highly-predictable periodic drives.
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/phftl/phftl/internal/trace"
+)
+
+// Profile parameterizes one synthetic drive workload.
+type Profile struct {
+	// ID is the paper's trace identifier (e.g. "#52").
+	ID string
+	// DriveClass is the paper's drive-size label ("500GB", "100GB", ...).
+	DriveClass string
+	// ExportedPages is the scaled-down drive size in pages.
+	ExportedPages int
+	// PageSize in bytes (the paper configures 16 KiB pages).
+	PageSize int
+
+	// HotFrac is the hot set size as a fraction of the LPN space.
+	HotFrac float64
+	// HotWriteFrac is the fraction of non-sequential writes that target the
+	// hot set.
+	HotWriteFrac float64
+	// HotJitter is the probability of a cyclic skip, dispersing hot-page
+	// lifetimes (0 = perfectly periodic).
+	HotJitter float64
+	// HotSkipMax bounds each jitter skip.
+	HotSkipMax int
+
+	// AltFrac is the alternating set size as a fraction of the LPN space:
+	// pages written in update pairs (write, then a follow-up rewrite a few
+	// requests later, then quiet for a full cycle — think journal commit or
+	// read-modify-write patterns). Their lifetimes alternate short/long, so
+	// the common heuristic "next lifetime = previous lifetime" used by
+	// rule-based separators is systematically wrong on them, while a
+	// learned model picks up the inversion. Cloud traces show such
+	// multi-phase update patterns (IISWC'20).
+	AltFrac float64
+	// AltWriteFrac is the fraction of non-sequential writes that target the
+	// alternating set.
+	AltWriteFrac float64
+
+	// MedFrac is the medium set size as a fraction of the LPN space: a
+	// cyclic tier updated a few times slower than the hot set but still
+	// within one training window, giving the lifetime CDF its second
+	// observable mode (real traces are multi-modal; with a single mode the
+	// classification threshold has no gap to settle in).
+	MedFrac float64
+	// MedWriteFrac is the fraction of non-sequential, non-hot writes that
+	// target the medium set.
+	MedWriteFrac float64
+
+	// WarmFrac is the warm set size as a fraction of the LPN space: a
+	// second cyclic tier updated much more slowly than the hot set (think
+	// application working sets), giving long- but finite-lifetime pages
+	// whose invalidation is spatially concentrated.
+	WarmFrac float64
+	// WarmWriteFrac is the fraction of non-sequential, non-hot writes that
+	// target the warm set (the rest are uniform cold updates).
+	WarmWriteFrac float64
+
+	// SeqFrac is the fraction of write requests that belong to sequential
+	// overwrite streams (circular logs).
+	SeqFrac float64
+	// SeqRunPages is the length of one sequential burst in pages.
+	SeqRunPages int
+	// SeqRegionFrac is the fraction of the LPN space the sequential stream
+	// cycles over.
+	SeqRegionFrac float64
+
+	// ReadFrac is the fraction of requests that are reads.
+	ReadFrac float64
+	// ReqPagesMax bounds random/hot request sizes (uniform 1..ReqPagesMax).
+	ReqPagesMax int
+
+	// PhaseEvery rotates the hot set by half its size every PhaseEvery page
+	// writes (0 = static), exercising PHFTL's adaptive threshold and
+	// retraining.
+	PhaseEvery int
+
+	// InterArrivalUS is the mean request inter-arrival time in microseconds
+	// (exponential), used by timing experiments.
+	InterArrivalUS float64
+
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Generator emits trace records for a profile. It is an infinite stream.
+type Generator struct {
+	p   Profile
+	rng *rand.Rand
+
+	hotBase int // current hot-region start (rotates with phases)
+	hotSize int
+	hotPtr  int
+
+	altSize  int
+	altPtr   int
+	altPhase bool
+	altPages int // request size of the pending pair follow-up
+
+	medSize  int
+	medPtr   int
+	warmSize int
+	warmPtr  int
+
+	seqRegion int // pages in the sequential region
+	seqPtr    int // next page of the circular log
+
+	pageWrites int // total page writes emitted
+	clockUS    uint64
+
+	// Low-discrepancy accumulators for request-type selection: types arrive
+	// at their exact configured rates with minimal interleave variance, so
+	// per-page update periods are as regular as the jitter knobs dictate
+	// (i.i.d. type sampling would add Poisson dispersion that swamps them).
+	seqAcc, hotAcc, altAcc, medAcc, warmAcc float64
+}
+
+func bern(acc *float64, p float64) bool {
+	*acc += p
+	if *acc >= 1 {
+		*acc--
+		return true
+	}
+	return false
+}
+
+// NewGenerator builds the generator for a profile.
+func (p Profile) NewGenerator() *Generator {
+	hotSize := int(p.HotFrac * float64(p.ExportedPages))
+	if hotSize < 1 {
+		hotSize = 1
+	}
+	seqRegion := int(p.SeqRegionFrac * float64(p.ExportedPages))
+	if seqRegion < 1 {
+		seqRegion = 1
+	}
+	warmSize := int(p.WarmFrac * float64(p.ExportedPages))
+	if warmSize < 1 {
+		warmSize = 1
+	}
+	medSize := int(p.MedFrac * float64(p.ExportedPages))
+	if medSize < 1 {
+		medSize = 1
+	}
+	altSize := int(p.AltFrac * float64(p.ExportedPages))
+	if altSize < 1 {
+		altSize = 1
+	}
+	return &Generator{
+		p:         p,
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		hotSize:   hotSize,
+		altSize:   altSize,
+		medSize:   medSize,
+		warmSize:  warmSize,
+		seqRegion: seqRegion,
+	}
+}
+
+// PageWrites returns the number of page writes emitted so far.
+func (g *Generator) PageWrites() int { return g.pageWrites }
+
+// Next produces the next request.
+func (g *Generator) Next() trace.Record {
+	g.clockUS += uint64(g.rng.ExpFloat64() * g.p.InterArrivalUS)
+	rec := trace.Record{Time: g.clockUS}
+
+	if g.rng.Float64() < g.p.ReadFrac {
+		rec.Op = trace.OpRead
+		// Reads favour the hot set (hot data is hot for reads too).
+		var lpn int
+		if g.rng.Float64() < 0.5 {
+			lpn = g.hotBase + g.rng.Intn(g.hotSize)
+		} else {
+			lpn = g.rng.Intn(g.p.ExportedPages)
+		}
+		pages := 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+		lpn %= g.p.ExportedPages
+		if lpn+pages > g.p.ExportedPages {
+			pages = g.p.ExportedPages - lpn
+		}
+		rec.Offset = uint64(lpn) * uint64(g.p.PageSize)
+		rec.Size = uint32(pages * g.p.PageSize)
+		return rec
+	}
+
+	rec.Op = trace.OpWrite
+	switch {
+	case bern(&g.altAcc, g.p.AltWriteFrac):
+		// Alternating update pair: the first write of a pair dies at its
+		// follow-up a few requests later; the follow-up lives a full cycle.
+		// "Next lifetime = previous lifetime" is systematically wrong here.
+		if !g.altPhase {
+			g.altPages = 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+			if start := g.altPtr % g.altSize; start+g.altPages > g.altSize {
+				g.altPages = g.altSize - start
+			}
+		}
+		lpn := g.altPtr % g.altSize
+		if g.altPhase {
+			g.altPtr += g.altPages // pair complete: next position
+		}
+		g.altPhase = !g.altPhase
+		base := g.p.ExportedPages * 3 / 16
+		rec.Offset = uint64(base+lpn) * uint64(g.p.PageSize)
+		rec.Size = uint32(g.altPages * g.p.PageSize)
+		g.pageWrites += g.altPages
+	case bern(&g.seqAcc, g.p.SeqFrac):
+		// Sequential circular-log burst: whole superblocks of data with a
+		// deterministic region-cycle lifetime.
+		run := g.p.SeqRunPages
+		if run < 1 {
+			run = 1
+		}
+		start := g.seqPtr % g.seqRegion
+		if start+run > g.seqRegion {
+			run = g.seqRegion - start // stay inside the region; wrap next time
+		}
+		g.seqPtr = (start + run) % g.seqRegion
+		// The sequential region sits at the top of the LPN space.
+		base := g.p.ExportedPages - g.seqRegion
+		rec.Offset = uint64(base+start) * uint64(g.p.PageSize)
+		rec.Size = uint32(run * g.p.PageSize)
+		g.pageWrites += run
+	case bern(&g.hotAcc, g.p.HotWriteFrac):
+		// Near-periodic hot update: the cycle pointer advances by the
+		// request size so consecutive requests update disjoint objects.
+		pages := 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+		lpn := g.hotBase + (g.hotPtr % g.hotSize)
+		if g.hotPtr%g.hotSize+pages > g.hotSize {
+			pages = g.hotSize - g.hotPtr%g.hotSize // stay inside the hot set
+		}
+		g.hotPtr += pages
+		if g.rng.Float64() < g.p.HotJitter && g.p.HotSkipMax > 0 {
+			// Skips scale with the hot-set size so small drives see the
+			// same relative lifetime dispersion as large ones.
+			skip := g.p.HotSkipMax
+			if rel := g.hotSize / 16; rel < skip {
+				skip = rel
+			}
+			if skip > 0 {
+				g.hotPtr += g.rng.Intn(skip + 1)
+			}
+		}
+		rec.Offset = uint64(lpn) * uint64(g.p.PageSize)
+		rec.Size = uint32(pages * g.p.PageSize)
+		g.pageWrites += pages
+	case bern(&g.medAcc, g.p.MedWriteFrac):
+		// Medium cyclic tier: lifetimes a few times the hot tier's, still
+		// observable within a window. Lives between the hot region's
+		// rotation range and the warm region.
+		pages := 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+		start := g.medPtr % g.medSize
+		if start+pages > g.medSize {
+			pages = g.medSize - start
+		}
+		g.medPtr += pages
+		base := g.p.ExportedPages / 8
+		rec.Offset = uint64(base+start) * uint64(g.p.PageSize)
+		rec.Size = uint32(pages * g.p.PageSize)
+		g.pageWrites += pages
+	case bern(&g.warmAcc, g.p.WarmWriteFrac):
+		// Slow cyclic warm-set update: long but finite lifetimes with
+		// concentrated invalidation. The warm region sits just above the
+		// hot region's home range.
+		pages := 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+		start := g.warmPtr % g.warmSize
+		if start+pages > g.warmSize {
+			pages = g.warmSize - start
+		}
+		g.warmPtr += pages
+		base := g.p.ExportedPages / 4 // clear of the (rotating) hot region
+		rec.Offset = uint64(base+start) * uint64(g.p.PageSize)
+		rec.Size = uint32(pages * g.p.PageSize)
+		g.pageWrites += pages
+	default:
+		// Uniform cold update outside the sequential region.
+		coldSpan := g.p.ExportedPages - g.seqRegion
+		if coldSpan < 1 {
+			coldSpan = g.p.ExportedPages
+		}
+		lpn := g.rng.Intn(coldSpan)
+		pages := 1 + g.rng.Intn(maxInt(g.p.ReqPagesMax, 1))
+		rec.Offset = uint64(lpn) * uint64(g.p.PageSize)
+		rec.Size = uint32(pages * g.p.PageSize)
+		g.pageWrites += pages
+	}
+
+	if g.p.PhaseEvery > 0 && g.pageWrites/g.p.PhaseEvery != (g.pageWrites-int(rec.Size)/g.p.PageSize)/g.p.PhaseEvery {
+		// Rotate the hot set by half its size: workload drift.
+		g.hotBase = (g.hotBase + g.hotSize/2) % maxInt(g.p.ExportedPages/8-g.hotSize, 1)
+	}
+	return rec
+}
+
+// Records emits requests until at least nPageWrites page writes have been
+// generated.
+func (g *Generator) Records(nPageWrites int) []trace.Record {
+	var out []trace.Record
+	start := g.pageWrites
+	for g.pageWrites-start < nPageWrites {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

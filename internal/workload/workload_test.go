@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/phftl/phftl/internal/trace"
+)
+
+func testProfile() Profile {
+	p := base("#test", "test", 4096)
+	tuneHotFrac(&p, 0.4)
+	return p
+}
+
+func TestProfilesWellFormed(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 20 {
+		t.Fatalf("profiles = %d, want 20 (the paper's trace count)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.ID] {
+			t.Errorf("duplicate profile %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.ExportedPages <= 0 || p.PageSize <= 0 {
+			t.Errorf("%s: bad sizes %d/%d", p.ID, p.ExportedPages, p.PageSize)
+		}
+		for name, v := range map[string]float64{
+			"HotFrac": p.HotFrac, "HotWriteFrac": p.HotWriteFrac,
+			"WarmFrac": p.WarmFrac, "WarmWriteFrac": p.WarmWriteFrac,
+			"SeqFrac": p.SeqFrac, "SeqRegionFrac": p.SeqRegionFrac,
+			"ReadFrac": p.ReadFrac, "HotJitter": p.HotJitter,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: %s = %v outside [0,1]", p.ID, name, v)
+			}
+		}
+		// The hot set must cycle well within one training window (5% of the
+		// drive) or its lifetimes are unobservable; the noisiest profiles
+		// may approach but not exceed the window.
+		if p.HotFrac > 0.05 {
+			t.Errorf("%s: HotFrac %v exceeds the window fraction", p.ID, p.HotFrac)
+		}
+	}
+	for _, want := range []string{"#52", "#144", "#38", "#679"} {
+		if !seen[want] {
+			t.Errorf("missing paper trace %s", want)
+		}
+	}
+}
+
+func TestProfileByID(t *testing.T) {
+	p, ok := ProfileByID("#52")
+	if !ok || p.ID != "#52" {
+		t.Fatalf("ProfileByID(#52) = %+v, %v", p, ok)
+	}
+	if _, ok := ProfileByID("#nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := testProfile()
+	a := p.NewGenerator().Records(5000)
+	b := p.NewGenerator().Records(5000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorRecordsMeetPageWriteTarget(t *testing.T) {
+	p := testProfile()
+	g := p.NewGenerator()
+	g.Records(10000)
+	if g.PageWrites() < 10000 {
+		t.Fatalf("page writes = %d, want >= 10000", g.PageWrites())
+	}
+}
+
+func TestGeneratorRecordsInBounds(t *testing.T) {
+	for _, p := range Profiles()[:4] {
+		g := p.NewGenerator()
+		for _, r := range g.Records(20000) {
+			if r.Size == 0 {
+				t.Fatalf("%s: zero-size record", p.ID)
+			}
+			if r.Offset%uint64(p.PageSize) != 0 {
+				t.Fatalf("%s: unaligned offset %d", p.ID, r.Offset)
+			}
+			end := (r.Offset + uint64(r.Size) + uint64(p.PageSize) - 1) / uint64(p.PageSize)
+			if end > uint64(p.ExportedPages) {
+				t.Fatalf("%s: request [%d,+%d) beyond drive (%d pages)", p.ID, r.Offset, r.Size, p.ExportedPages)
+			}
+			if r.Op != trace.OpRead && r.Op != trace.OpWrite {
+				t.Fatalf("%s: bad op %c", p.ID, r.Op)
+			}
+		}
+	}
+}
+
+func TestGeneratorMixesReadsAndWrites(t *testing.T) {
+	p := testProfile()
+	p.ReadFrac = 0.4
+	g := p.NewGenerator()
+	recs := g.Records(20000)
+	s := trace.Summarize(recs)
+	frac := float64(s.Reads) / float64(s.Reads+s.Writes)
+	if frac < 0.3 || frac > 0.5 {
+		t.Errorf("read fraction = %.3f, want ~0.4", frac)
+	}
+}
+
+func TestGeneratorHotLifetimesMatchGapRatio(t *testing.T) {
+	// With gapRatio 0.4 the dominant lifetime mode must sit well below one
+	// window (5% of the drive) — this is the property PHFTL's sampling
+	// depends on.
+	p := base("#gap", "test", 8192)
+	p.HotJitter = 0
+	p.SeqFrac = 0
+	p.ReadFrac = 0
+	p.WarmWriteFrac = 0.9
+	tuneHotFrac(&p, 0.4)
+	g := p.NewGenerator()
+	recs := g.Records(6 * 8192)
+	ops := trace.Expand(recs, p.PageSize, p.ExportedPages)
+	lifetimes := trace.AnnotateLifetimes(ops)
+	window := float64(8192) * 0.05
+	short := 0
+	finite := 0
+	for _, l := range lifetimes {
+		if l == trace.InfiniteLifetime {
+			continue
+		}
+		finite++
+		if float64(l) < window {
+			short++
+		}
+	}
+	if finite == 0 {
+		t.Fatal("no finite lifetimes")
+	}
+	if frac := float64(short) / float64(finite); frac < 0.5 {
+		t.Errorf("only %.2f of finite lifetimes fall inside a window", frac)
+	}
+}
+
+func TestGeneratorPhaseRotationMovesHotSet(t *testing.T) {
+	p := testProfile()
+	p.PhaseEvery = 2000
+	g := p.NewGenerator()
+	base0 := g.hotBase
+	g.Records(10000)
+	if g.hotBase == base0 {
+		t.Error("hot base did not rotate despite PhaseEvery")
+	}
+}
+
+func TestGeneratorTimestampsMonotone(t *testing.T) {
+	p := testProfile()
+	g := p.NewGenerator()
+	var last uint64
+	for _, r := range g.Records(5000) {
+		if r.Time < last {
+			t.Fatalf("timestamps regressed: %d after %d", r.Time, last)
+		}
+		last = r.Time
+	}
+}
+
+func TestBernoulliAccumulatorExactRate(t *testing.T) {
+	var acc float64
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if bern(&acc, 0.3) {
+			hits++
+		}
+	}
+	if hits < 299 || hits > 301 {
+		t.Errorf("low-discrepancy rate: %d/1000 hits, want 300 (+-1 float rounding)", hits)
+	}
+	// Rate 0 never fires; rate 1 always fires.
+	acc = 0
+	for i := 0; i < 10; i++ {
+		if bern(&acc, 0) {
+			t.Fatal("rate 0 fired")
+		}
+	}
+	acc = 0
+	for i := 0; i < 10; i++ {
+		if !bern(&acc, 1) {
+			t.Fatal("rate 1 missed")
+		}
+	}
+}
+
+func TestAlternatingTierLifetimes(t *testing.T) {
+	// Isolate the alternating tier: its pages must show bimodal lifetimes —
+	// a short intra-pair gap and a long inter-cycle gap — with the short
+	// mode well below the long one. This is the structure that defeats
+	// "next lifetime = previous lifetime" heuristics.
+	p := base("#alt", "test", 8192)
+	p.AltWriteFrac = 0.5
+	p.ReadFrac = 0
+	p.SeqFrac = 0
+	p.HotJitter = 0
+	tuneHotFrac(&p, 0.4)
+	g := p.NewGenerator()
+	recs := g.Records(40000)
+	ops := trace.Expand(recs, p.PageSize, p.ExportedPages)
+	lifetimes := trace.AnnotateLifetimes(ops)
+	altLo := uint32(p.ExportedPages * 3 / 16)
+	altHi := altLo + uint32(p.AltFrac*float64(p.ExportedPages)) + 1
+	var short, long int
+	widx := 0
+	for _, op := range ops {
+		if !op.Write {
+			continue
+		}
+		l := lifetimes[widx]
+		widx++
+		if op.LPN < altLo || op.LPN >= altHi || l == trace.InfiniteLifetime {
+			continue
+		}
+		if float64(l) < 0.3*0.05*float64(p.ExportedPages) {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("alternating tier not bimodal: %d short, %d long", short, long)
+	}
+	ratio := float64(short) / float64(short+long)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("pair phases unbalanced: %.2f short fraction", ratio)
+	}
+}
+
+func TestProfilesAltAndMedInRange(t *testing.T) {
+	for _, p := range Profiles() {
+		for name, v := range map[string]float64{
+			"AltFrac": p.AltFrac, "AltWriteFrac": p.AltWriteFrac,
+			"MedFrac": p.MedFrac, "MedWriteFrac": p.MedWriteFrac,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: %s = %v outside [0,1]", p.ID, name, v)
+			}
+		}
+	}
+}
