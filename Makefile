@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race fmt bench
+
+## check: the tier-1 gate — everything CI (and the next PR) relies on.
+check: vet build race fmt
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt -l prints offending files; grep inverts that into an exit status.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## bench: disabled-recorder overhead check against the seed write path.
+bench:
+	$(GO) test -bench 'BenchmarkWritePath' -benchtime=200000x -count=3 -run '^$$' .

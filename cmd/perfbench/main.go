@@ -8,6 +8,7 @@
 // Usage:
 //
 //	perfbench [-dw 10] [-traces "#52,#144"] [-pages 8192]
+//	perfbench -traces "#144" -telemetry out.jsonl -exectrace run.trace
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/perfsim"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
@@ -27,7 +29,24 @@ func main() {
 	tracesFlag := flag.String("traces", "#52,#144", "trace IDs to replay")
 	pagesOverride := flag.Int("pages", 8192, "override drive size in pages (0 = profile default); timing replay is slower than WA-only replay")
 	iaPerPage := flag.Float64("iapp", 700, "phase-2 mean inter-arrival per written page, µs")
+	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var telemetryF *os.File
+	if *telemetry != "" {
+		telemetryF, err = os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	for _, id := range strings.Split(*tracesFlag, ",") {
 		p, ok := workload.ProfileByID(strings.TrimSpace(id))
@@ -64,6 +83,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			if telemetryF != nil {
+				m.Observe(sim.Observe(m.In, sim.ObserveConfig{}))
+			}
 			gen := p.NewGenerator()
 			load := gen.Records(*driveWrites * p.ExportedPages)
 			bw, err := m.RunPhase1(load, p.PageSize, 32)
@@ -76,6 +98,14 @@ func main() {
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			if telemetryF != nil {
+				m.In.Obs.Finish(m.In.FTL.Clock())
+				run := fmt.Sprintf("%s/%s", p.ID, scheme)
+				if err := obs.WriteJSONL(telemetryF, run, m.In.Obs.Rec.Events(), m.In.Obs.Sampler.Series()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 			results[scheme] = phaseOut{bw: bw, stats: stats}
 		}
@@ -119,5 +149,16 @@ func main() {
 		sa := results[sim.SchemeBase].stats.Avg
 		pa := results[sim.SchemePHFTL].stats.Avg
 		fmt.Printf("  average latency: PHFTL-hw %+.1f%% vs stock\n\n", (pa/sa-1)*100)
+	}
+	if telemetryF != nil {
+		if err := telemetryF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *telemetry)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -7,6 +7,11 @@
 //
 //	phftlsim -trace "#52" [-scheme PHFTL] [-dw 20]
 //	phftlsim -csv mytrace.csv -pages 16384 [-scheme SepBIT]
+//
+// Observability (see README "Observability & profiling"):
+//
+//	phftlsim -trace "#52" -telemetry out.jsonl -report
+//	phftlsim -trace "#144" -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -15,10 +20,16 @@ import (
 	"os"
 
 	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
 	"github.com/phftl/phftl/internal/workload"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	traceID := flag.String("trace", "", "synthetic profile ID (e.g. #52)")
@@ -27,13 +38,39 @@ func main() {
 	pageSize := flag.Int("pagesize", 16384, "page size in bytes for -csv traces")
 	schemeFlag := flag.String("scheme", "PHFTL", "Base, 2R, SepBIT or PHFTL")
 	driveWrites := flag.Int("dw", 20, "drive writes to replay (synthetic profiles)")
+	telemetry := flag.String("telemetry", "", "write trace events and samples as JSONL to this file")
+	telemetryCSV := flag.String("telemetry-csv", "", "also write the sample time series as CSV to this file")
+	sampleEvery := flag.Uint64("sample-every", 0, "sampling interval in user-page writes (0 = exported/64)")
+	report := flag.Bool("report", false, "print the observability report after the run")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+
+	// Open the sinks before the (possibly minutes-long) replay so a bad
+	// path fails now, not after the run.
+	var telemetryF, telemetryCSVF *os.File
+	if *telemetry != "" {
+		if telemetryF, err = os.Create(*telemetry); err != nil {
+			fatal(err)
+		}
+	}
+	if *telemetryCSV != "" {
+		if telemetryCSVF, err = os.Create(*telemetryCSV); err != nil {
+			fatal(err)
+		}
+	}
+
+	observing := *telemetry != "" || *telemetryCSV != "" || *report
 	scheme := sim.Scheme(*schemeFlag)
+	var in *sim.Instance
 	var res sim.Result
 	var wear ftl.WearReport
 	var lifetime uint64
-	var err error
 	switch {
 	case *traceID != "":
 		p, ok := workload.ProfileByID(*traceID)
@@ -44,58 +81,60 @@ func main() {
 		fmt.Printf("trace %s (%s, %d pages x %d B), scheme %s, %d drive writes\n",
 			p.ID, p.DriveClass, p.ExportedPages, p.PageSize, scheme, *driveWrites)
 		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-		in, berr := sim.Build(scheme, geo, nil)
-		if berr != nil {
-			fmt.Fprintln(os.Stderr, berr)
-			os.Exit(1)
+		in, err = sim.Build(scheme, geo, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if observing {
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery})
 		}
 		res, err = sim.RunOn(in, p, *driveWrites)
+		if err != nil {
+			fatal(err)
+		}
 		wear = in.FTL.Wear()
 		lifetime = in.FTL.LifetimeWrites(3000)
 	case *csvPath != "":
 		f, ferr := os.Open(*csvPath)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
+			fatal(ferr)
 		}
 		records, rerr := trace.ReadCSV(f)
 		f.Close()
 		if rerr != nil {
-			fmt.Fprintln(os.Stderr, rerr)
-			os.Exit(1)
+			fatal(rerr)
 		}
 		st := trace.Summarize(records)
 		fmt.Printf("csv trace %s: %d writes (%d MB), %d reads, scheme %s\n",
 			*csvPath, st.Writes, st.WriteBytes>>20, st.Reads, scheme)
 		geo := sim.GeometryForDrive(*pages, *pageSize)
-		in, berr := sim.Build(scheme, geo, nil)
-		if berr != nil {
-			fmt.Fprintln(os.Stderr, berr)
-			os.Exit(1)
+		in, err = sim.Build(scheme, geo, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if observing {
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery})
 		}
 		ops := trace.Expand(records, *pageSize, in.FTL.ExportedPages())
-		if err = in.Replay(ops); err == nil {
-			wear = in.FTL.Wear()
-			lifetime = in.FTL.LifetimeWrites(3000)
-			in.Finish()
-			res = sim.Result{
-				Profile: *csvPath, Scheme: scheme,
-				WA: in.FTL.Stats().WA(), DataWA: in.FTL.Stats().DataWA(),
-				FTLStats: in.FTL.Stats(),
-			}
-			if in.PHFTL != nil {
-				res.Confusion = in.PHFTL.Confusion()
-				res.MetaStats = in.PHFTL.MetaStats()
-				res.Threshold = in.PHFTL.Threshold()
-			}
+		if err = in.Replay(ops); err != nil {
+			fatal(err)
+		}
+		wear = in.FTL.Wear()
+		lifetime = in.FTL.LifetimeWrites(3000)
+		in.Finish()
+		res = sim.Result{
+			Profile: *csvPath, Scheme: scheme,
+			WA: in.FTL.Stats().WA(), DataWA: in.FTL.Stats().DataWA(),
+			FTLStats: in.FTL.Stats(),
+		}
+		if in.PHFTL != nil {
+			res.Confusion = in.PHFTL.Confusion()
+			res.MetaStats = in.PHFTL.MetaStats()
+			res.Threshold = in.PHFTL.Threshold()
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	s := res.FTLStats
@@ -114,5 +153,35 @@ func main() {
 		ms := res.MetaStats
 		fmt.Printf("metadata cache         %.2f%% hit rate (%d hits, %d misses, %d open-buffer hits)\n",
 			ms.HitRate()*100, ms.CacheHits, ms.CacheMisses, ms.OpenHits)
+	}
+
+	if o := in.Obs; o != nil {
+		if telemetryF != nil {
+			if err := obs.WriteJSONL(telemetryF, "", o.Rec.Events(), o.Sampler.Series()); err != nil {
+				telemetryF.Close()
+				fatal(err)
+			}
+			if err := telemetryF.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %s (%d events, %d dropped, %d samples)\n",
+				*telemetry, len(o.Rec.Events()), o.Rec.Dropped(), len(o.Sampler.Series()))
+		}
+		if telemetryCSVF != nil {
+			if err := obs.WriteSamplesCSV(telemetryCSVF, o.Sampler.Series()); err != nil {
+				telemetryCSVF.Close()
+				fatal(err)
+			}
+			if err := telemetryCSVF.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *telemetryCSV)
+		}
+		if *report {
+			fmt.Printf("\n%s", obs.BuildReport(o.Rec, o.Sampler.Series()))
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }

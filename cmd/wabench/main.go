@@ -6,6 +6,7 @@
 // Usage:
 //
 //	wabench [-dw 20] [-traces "#52,#144"] [-schemes "Base,PHFTL"] [-csv out.csv]
+//	wabench -traces "#52" -telemetry out.jsonl -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/workload"
 )
@@ -23,7 +25,24 @@ func main() {
 	tracesFlag := flag.String("traces", "", "comma-separated trace IDs (default: all 20)")
 	schemesFlag := flag.String("schemes", "", "comma-separated schemes (default: Base,2R,SepBIT,PHFTL)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var telemetryF *os.File
+	if *telemetry != "" {
+		telemetryF, err = os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	profiles := workload.Profiles()
 	if *tracesFlag != "" {
@@ -66,10 +85,26 @@ func main() {
 		was := make(map[sim.Scheme]float64)
 		var hitRate, thr, metaFrac float64
 		for _, s := range schemes {
-			res, err := sim.RunProfile(p, s, *driveWrites, nil)
+			geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+			in, err := sim.Build(s, geo, nil)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "\n%s on %s: %v\n", s, p.ID, err)
 				os.Exit(1)
+			}
+			if telemetryF != nil {
+				sim.Observe(in, sim.ObserveConfig{})
+			}
+			res, err := sim.RunOn(in, p, *driveWrites)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n%s on %s: %v\n", s, p.ID, err)
+				os.Exit(1)
+			}
+			if telemetryF != nil {
+				run := fmt.Sprintf("%s/%s", p.ID, s)
+				if err := obs.WriteJSONL(telemetryF, run, in.Obs.Rec.Events(), in.Obs.Sampler.Series()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 			was[s] = res.DataWA
 			fmt.Printf(" %8.1f%%", res.DataWA*100)
@@ -112,5 +147,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if telemetryF != nil {
+		if err := telemetryF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *telemetry)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/rbtree"
 )
 
@@ -132,6 +133,11 @@ type MetaStore struct {
 	capacity int
 
 	stats MetaStats
+
+	// rec, when non-nil, receives cache hit/miss/evict events stamped with
+	// clockFn's virtual clock (the FTL's user-write clock).
+	rec     obs.Recorder
+	clockFn func() uint64
 }
 
 // NewMetaStore builds a metadata store for the geometry. cacheFrac is the
@@ -157,6 +163,25 @@ func NewMetaStore(geo nand.Geometry, dataPages, metaPages, entriesPerPage int, c
 
 // Stats returns retrieval statistics.
 func (m *MetaStore) Stats() MetaStats { return m.stats }
+
+// SetRecorder installs a trace-event recorder. clockFn supplies the virtual
+// clock stamped on events (nil stamps 0).
+func (m *MetaStore) SetRecorder(r obs.Recorder, clockFn func() uint64) {
+	m.rec = r
+	m.clockFn = clockFn
+}
+
+func (m *MetaStore) emit(kind obs.Kind, mppn nand.PPN) {
+	var clock uint64
+	if m.clockFn != nil {
+		clock = m.clockFn()
+	}
+	m.rec.Record(obs.Event{
+		Kind: kind, Clock: clock,
+		SB: -1, Stream: -1, GCClass: -1,
+		A: int64(mppn),
+	})
+}
 
 // CacheCapacity returns the cache capacity in meta pages.
 func (m *MetaStore) CacheCapacity() int { return m.capacity }
@@ -200,10 +225,16 @@ func (m *MetaStore) Get(ppn nand.PPN) (Entry, error) {
 func (m *MetaStore) metaPage(mppn nand.PPN) ([]byte, error) {
 	if ent, ok := m.cache.Get(mppn); ok {
 		m.stats.CacheHits++
+		if m.rec != nil {
+			m.emit(obs.KindMetaCacheHit, mppn)
+		}
 		m.lruTouch(ent)
 		return ent.buf, nil
 	}
 	m.stats.CacheMisses++
+	if m.rec != nil {
+		m.emit(obs.KindMetaCacheMiss, mppn)
+	}
 	data, err := m.reader.ReadMetaPage(mppn)
 	if err != nil {
 		return nil, fmt.Errorf("core: meta page read %d: %w", mppn, err)
@@ -259,6 +290,9 @@ func (m *MetaStore) evictLRU() {
 	}
 	m.lruUnlink(victim)
 	m.cache.Delete(victim.mppn)
+	if m.rec != nil {
+		m.emit(obs.KindMetaCacheEvict, victim.mppn)
+	}
 }
 
 // Put records the metadata entry for a data page just programmed at ppn in

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"time"
 
 	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/ml"
 	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
 )
 
 // Stream layout: two user streams selected by the Page Classifier plus one
@@ -145,6 +147,10 @@ type PHFTL struct {
 	// against its ground-truth lifetime (debugging / analysis hook).
 	OnResolve func(lpn nand.LPN, predictedShort bool, lifetime, threshold float64)
 
+	// rec, when non-nil, receives threshold-update and retraining events;
+	// the metadata store carries its own recorder reference.
+	rec obs.Recorder
+
 	rng      *rand.Rand
 	stats    Stats
 	xScratch []float64
@@ -275,6 +281,17 @@ func (p *PHFTL) Stats() Stats { return p.stats }
 
 // MetaStats returns metadata-cache statistics (§V-B hit-rate claim).
 func (p *PHFTL) MetaStats() MetaStats { return p.meta.Stats() }
+
+// Meta exposes the metadata store (observability wiring and tests).
+func (p *PHFTL) Meta() *MetaStore { return p.meta }
+
+// SetRecorder installs a trace-event recorder on the scheme and its
+// metadata store. clockFn supplies the virtual clock for metadata-cache
+// events (the FTL's Clock method; nil stamps 0).
+func (p *PHFTL) SetRecorder(r obs.Recorder, clockFn func() uint64) {
+	p.rec = r
+	p.meta.SetRecorder(r, clockFn)
+}
 
 // Confusion returns the runtime prediction quality against ground-truth
 // lifetimes (Table I). Call Finish first to resolve outstanding predictions.
@@ -512,8 +529,22 @@ func (p *PHFTL) endWindow(now uint64) {
 			lifetime: ex.lifetime,
 		})
 	}
+	oldThreshold := p.threshold
 	if t := p.adj.Pick(p.lifetimes, probes); t > 0 {
 		p.threshold = t
+	}
+	if p.rec != nil {
+		d := p.adj.LastDecision()
+		seeded := int64(0)
+		if d.Seeded {
+			seeded = 1
+		}
+		p.rec.Record(obs.Event{
+			Kind: obs.KindThresholdUpdate, Clock: now,
+			SB: -1, Stream: -1, GCClass: -1,
+			A: int64(d.Direction), B: int64(d.Step), C: seeded,
+			F0: oldThreshold, F1: p.threshold, F2: d.ProbeAccuracy,
+		})
 	}
 
 	if p.threshold > 0 {
@@ -530,10 +561,14 @@ func (p *PHFTL) endWindow(now uint64) {
 			samples = append(samples, ml.Sample{Seq: ex.seq, Label: label})
 		}
 		samples = ml.ResampleBalanced(samples, 0, p.opts.Seed+int64(p.stats.Windows))
+		deployed := int64(0)
+		var trainDur time.Duration
 		if len(samples) >= 8 {
 			cfg := p.opts.Train
 			cfg.Seed = p.opts.Seed + int64(p.stats.Windows)
+			trainStart := time.Now()
 			p.stats.LastTrainLoss = ml.TrainModel(p.model, samples, p.opt, cfg)
+			trainDur = time.Since(trainStart)
 			p.stats.TrainedExamples += uint64(len(samples))
 			if p.opts.Quantize {
 				p.deployed = p.model.QuantizeModel()
@@ -543,6 +578,15 @@ func (p *PHFTL) endWindow(now uint64) {
 			p.trainedOnce = true
 			p.deployClock = now
 			p.stats.Deploys++
+			deployed = 1
+		}
+		if p.rec != nil {
+			p.rec.Record(obs.Event{
+				Kind: obs.KindWindowRetrain, Clock: now,
+				SB: -1, Stream: -1, GCClass: -1,
+				A: int64(len(samples)), B: deployed, C: trainDur.Nanoseconds(),
+				F0: p.stats.LastTrainLoss, F1: p.threshold,
+			})
 		}
 	}
 

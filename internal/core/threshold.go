@@ -21,7 +21,27 @@ type ThresholdAdjuster struct {
 	prevAdjusted bool
 	prevDir      int
 	seed         int64
+	last         Decision
 }
+
+// Decision describes how the last Pick call arrived at its threshold, for
+// observability (obs.KindThresholdUpdate events).
+type Decision struct {
+	// Seeded is true when the threshold came from the lifetime-CDF
+	// inflection point (the very first window), false for hill-climb
+	// windows.
+	Seeded bool
+	// Direction is the winning hill-climb direction: -1, 0 (hold) or +1.
+	Direction int
+	// Step is the percentile step length after this window's refinement.
+	Step int
+	// ProbeAccuracy is the winning probe's logistic-regression accuracy
+	// (0 when seeded or when no probe had both classes).
+	ProbeAccuracy float64
+}
+
+// LastDecision returns how the most recent Pick chose its threshold.
+func (ta *ThresholdAdjuster) LastDecision() Decision { return ta.last }
 
 // initialStep is Algorithm 1's initialization of the adjustment step.
 const initialStep = 5
@@ -91,12 +111,14 @@ func labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, [
 func (ta *ThresholdAdjuster) Pick(lifetimes []float64, samples []probeSample) float64 {
 	if len(lifetimes) == 0 {
 		// Nothing observed this window: keep the previous threshold.
+		ta.last = Decision{Step: ta.step}
 		return ta.Current()
 	}
 	if !ta.prevValid {
 		v, _ := metrics.InflectionPoint(lifetimes)
 		ta.prev = v
 		ta.prevValid = true
+		ta.last = Decision{Seeded: true, Step: ta.step}
 		return v
 	}
 	sort.Float64s(lifetimes)
@@ -152,5 +174,9 @@ func (ta *ThresholdAdjuster) Pick(lifetimes []float64, samples []probeSample) fl
 	ta.prevAdjusted = adjusted
 	ta.prevDir = bestDir
 	ta.prev = bestT
+	ta.last = Decision{Direction: bestDir, Step: ta.step}
+	if !math.IsInf(bestAccu, -1) {
+		ta.last.ProbeAccuracy = bestAccu
+	}
 	return bestT
 }

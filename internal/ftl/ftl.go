@@ -7,6 +7,7 @@ import (
 
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
 )
 
 // Config parameterizes an FTL instance.
@@ -122,6 +123,11 @@ type FTL struct {
 
 	clock uint64 // virtual time: user pages written
 	stats Stats
+
+	// rec, when non-nil, receives structured trace events (superblock
+	// lifecycle, GC, write stalls). Every emit is guarded by a nil check so
+	// the disabled path costs one predictable branch.
+	rec obs.Recorder
 }
 
 // New assembles an FTL over a fresh device.
@@ -227,6 +233,27 @@ func (f *FTL) Stats() Stats { return f.stats }
 // Separator returns the installed data-separation scheme.
 func (f *FTL) Separator() Separator { return f.sep }
 
+// SetRecorder installs (or with nil removes) the trace-event recorder.
+func (f *FTL) SetRecorder(r obs.Recorder) { f.rec = r }
+
+// OpenFill returns the per-stream fill fraction (pages written / data
+// pages) of each stream's open superblock; streams with no open superblock
+// report 0. The returned slice is reused across calls.
+func (f *FTL) OpenFill(dst []float64) []float64 {
+	if cap(dst) < len(f.open) {
+		dst = make([]float64, len(f.open))
+	}
+	dst = dst[:len(f.open)]
+	for stream, sbID := range f.open {
+		if sbID < 0 {
+			dst[stream] = 0
+			continue
+		}
+		dst[stream] = float64(f.sbs[sbID].writePtr) / float64(f.dataPages)
+	}
+	return dst
+}
+
 // MappedPPN returns the current physical location of an LPN, or InvalidPPN.
 func (f *FTL) MappedPPN(lpn nand.LPN) nand.PPN {
 	if int(lpn) >= f.exported {
@@ -254,6 +281,13 @@ func (f *FTL) allocPage(stream, gcClass int) (nand.PPN, error) {
 		sb.valid = 0
 		sb.openClock = f.clock
 		f.open[stream] = sbID
+		if f.rec != nil {
+			f.rec.Record(obs.Event{
+				Kind: obs.KindSBOpen, Clock: f.clock,
+				SB: int32(sbID), Stream: int16(stream), GCClass: int16(gcClass),
+				B: int64(len(f.free)),
+			})
+		}
 	}
 	sb := &f.sbs[sbID]
 	ppn := f.cfg.Geometry.SuperblockPPN(sbID, sb.writePtr)
@@ -291,6 +325,13 @@ func (f *FTL) closeIfFull(stream int) error {
 	sb.state = SBClosed
 	sb.closeClock = f.clock
 	f.open[stream] = -1
+	if f.rec != nil {
+		f.rec.Record(obs.Event{
+			Kind: obs.KindSBClose, Clock: f.clock,
+			SB: int32(sbID), Stream: int16(stream), GCClass: int16(sb.gcClass),
+			A: int64(sb.valid),
+		})
+	}
 	return nil
 }
 
@@ -392,6 +433,15 @@ func (f *FTL) FreeSuperblocks() int { return len(f.free) }
 // allocation deadlock-free.
 func (f *FTL) maybeGC() error {
 	for len(f.free) <= f.minFree {
+		// The free pool has hit the hard floor: the host write is stalled
+		// behind synchronous reclamation.
+		if f.rec != nil {
+			f.rec.Record(obs.Event{
+				Kind: obs.KindWriteStall, Clock: f.clock,
+				SB: -1, Stream: -1, GCClass: -1,
+				A: int64(len(f.free)),
+			})
+		}
 		victim := f.selectVictim()
 		if victim < 0 {
 			f.stats.GCFutile++
@@ -452,6 +502,16 @@ func (f *FTL) collect(victim int) error {
 	if class > f.cfg.MaxGCClass {
 		class = f.cfg.MaxGCClass
 	}
+	victimStream, victimClass := sb.stream, sb.gcClass
+	validAtStart := sb.valid
+	validRatio := float64(validAtStart) / float64(f.dataPages)
+	if f.rec != nil {
+		f.rec.Record(obs.Event{
+			Kind: obs.KindGCStart, Clock: f.clock,
+			SB: int32(victim), Stream: int16(victimStream), GCClass: int16(victimClass),
+			A: int64(validAtStart), B: int64(len(f.free)), F0: validRatio,
+		})
+	}
 	for off := 0; off < f.dataPages; off++ {
 		ppn := geo.SuperblockPPN(victim, off)
 		st, err := f.dev.State(ppn)
@@ -509,6 +569,13 @@ func (f *FTL) collect(victim int) error {
 	f.free = append(f.free, victim)
 	f.stats.GCVictims++
 	f.sep.OnSuperblockErased(victim)
+	if f.rec != nil {
+		f.rec.Record(obs.Event{
+			Kind: obs.KindGCEnd, Clock: f.clock,
+			SB: int32(victim), Stream: int16(victimStream), GCClass: int16(victimClass),
+			A: int64(validAtStart), B: int64(len(f.free)), F0: validRatio,
+		})
+	}
 	return nil
 }
 

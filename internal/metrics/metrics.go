@@ -14,9 +14,12 @@ import (
 // WriteAmp computes write amplification as defined in the paper, §V-B:
 // WA = (F - U) / U where F is the flash write size and U the user write size
 // (both in pages). A value of 0 means no amplification; 1.0 means flash
-// writes were twice the user writes. Returns 0 when no user writes occurred.
+// writes were twice the user writes. Returns 0 when no user writes occurred,
+// and clamps to 0 when flashWrites < userWrites — the unsigned subtraction
+// would otherwise wrap to an astronomical value (possible on Trim-heavy
+// accounting or interval deltas taken before any GC/meta writes landed).
 func WriteAmp(flashWrites, userWrites uint64) float64 {
-	if userWrites == 0 {
+	if userWrites == 0 || flashWrites < userWrites {
 		return 0
 	}
 	return float64(flashWrites-userWrites) / float64(userWrites)
@@ -233,8 +236,13 @@ func NewHistogram(n int, width float64) *Histogram {
 	}
 }
 
-// Add records one sample.
+// Add records one sample. NaN samples are dropped (a NaN would poison the
+// running sum and min/max); negative samples are clamped into the first
+// bucket but keep their exact value in the sum and extrema.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	idx := int(v / h.width)
 	if idx < 0 {
 		idx = 0
@@ -265,7 +273,10 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]) from bucket
-// midpoints.
+// midpoints, clamped to the observed [min, max] so coarse buckets never
+// report a value outside the data. A quantile landing in the final bucket
+// reports the observed max: that bucket also absorbs every overflow sample,
+// so its midpoint is meaningless.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -275,7 +286,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.buckets {
 		cum += c
 		if cum > target {
-			return (float64(i) + 0.5) * h.width
+			if i == len(h.buckets)-1 {
+				return h.maxV
+			}
+			return clamp((float64(i)+0.5)*h.width, h.minV, h.maxV)
 		}
 	}
 	return h.maxV

@@ -215,3 +215,81 @@ func TestHistogram(t *testing.T) {
 		t.Error("empty histogram mean should be 0")
 	}
 }
+
+func TestWriteAmpUnderflowGuard(t *testing.T) {
+	// flashWrites < userWrites must clamp to 0, not wrap the unsigned
+	// subtraction to ~1.8e19 (seen with interval deltas taken before any
+	// GC/meta writes were counted, and with Trim-heavy accounting).
+	cases := []struct{ flash, user uint64 }{
+		{99, 100},
+		{0, 100},
+		{0, 1},
+		{math.MaxUint64 - 1, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := WriteAmp(c.flash, c.user); got != 0 {
+			t.Errorf("WriteAmp(%d,%d) = %v, want 0", c.flash, c.user, got)
+		}
+	}
+	if got := WriteAmp(math.MaxUint64, math.MaxUint64-1); got < 0 {
+		t.Errorf("WriteAmp(max,max-1) = %v, want >= 0", got)
+	}
+}
+
+func TestHistogramSingleBucketQuantile(t *testing.T) {
+	h := NewHistogram(1, 10.0)
+	for _, v := range []float64{1, 2, 3} {
+		h.Add(v)
+	}
+	// Every quantile lands in the lone bucket; the midpoint estimate (5.0)
+	// must be clamped into the observed [1, 3] range.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 1 || got > 3 {
+			t.Errorf("Quantile(%v) = %v, want within observed [1,3]", q, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	h.Add(0.5)
+	h.Add(1e9) // far past the histogram range: overflow bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// The high quantile falls in the overflow bucket, whose midpoint (9.5)
+	// wildly underestimates; clamping reports the observed max instead.
+	if got := h.Quantile(0.99); got != 1e9 {
+		t.Errorf("Quantile(0.99) = %v, want observed max 1e9", got)
+	}
+	if got := h.Quantile(0); got < 0.5 || got > 1e9 {
+		t.Errorf("Quantile(0) = %v outside observed range", got)
+	}
+}
+
+func TestHistogramNaNAndNegative(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	h.Add(math.NaN()) // dropped: must not poison count, sum or extrema
+	if h.Count() != 0 {
+		t.Fatalf("NaN was counted: Count = %d", h.Count())
+	}
+	h.Add(2)
+	if m := h.Mean(); math.IsNaN(m) || m != 2 {
+		t.Errorf("Mean after NaN+2 = %v, want 2", m)
+	}
+	// Negative samples clamp into the first bucket but keep their value in
+	// the running sum.
+	h2 := NewHistogram(10, 1.0)
+	h2.Add(-4)
+	h2.Add(4)
+	if h2.Count() != 2 {
+		t.Fatalf("Count = %d", h2.Count())
+	}
+	if m := h2.Mean(); m != 0 {
+		t.Errorf("Mean = %v, want 0", m)
+	}
+	if q := h2.Quantile(0); q < -4 || q > 4 {
+		t.Errorf("Quantile(0) = %v outside observed [-4,4]", q)
+	}
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecorderBasics(t *testing.T) {
+	r := NewTraceRecorder(8)
+	if r.Capacity() != 8 {
+		t.Fatalf("Capacity = %d, want 8", r.Capacity())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindSBOpen, Clock: uint64(i), SB: int32(i)})
+	}
+	if r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("Total = %d, Dropped = %d", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Clock != uint64(i) || ev.SB != int32(i) {
+			t.Errorf("event %d = %+v, want clock/sb %d", i, ev, i)
+		}
+	}
+	if got := r.CountByKind(KindSBOpen); got != 5 {
+		t.Errorf("CountByKind(SBOpen) = %d", got)
+	}
+	if got := r.CountByKind(KindGCEnd); got != 0 {
+		t.Errorf("CountByKind(GCEnd) = %d", got)
+	}
+}
+
+func TestTraceRecorderWraparound(t *testing.T) {
+	r := NewTraceRecorder(4)
+	const n = 11
+	for i := 0; i < n; i++ {
+		r.Record(Event{Kind: KindGCEnd, Clock: uint64(i)})
+	}
+	if r.Total() != n {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if r.Dropped() != n-4 {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), n-4)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want ring capacity 4", len(evs))
+	}
+	// The retained window is the last 4 events, oldest first.
+	for i, ev := range evs {
+		want := uint64(n - 4 + i)
+		if ev.Clock != want {
+			t.Errorf("retained[%d].Clock = %d, want %d", i, ev.Clock, want)
+		}
+	}
+	// Per-kind totals survive the overwrites.
+	if got := r.CountByKind(KindGCEnd); got != n {
+		t.Errorf("CountByKind = %d, want %d", got, n)
+	}
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 || r.CountByKind(KindGCEnd) != 0 {
+		t.Error("Reset did not clear the recorder")
+	}
+}
+
+func TestTraceRecorderConcurrent(t *testing.T) {
+	// The timing model fans requests across goroutines; recording must be
+	// safe under the race detector with a ring smaller than the event
+	// count (forcing slot reuse).
+	r := NewTraceRecorder(64)
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Record(Event{Kind: KindMetaCacheHit, Clock: uint64(g*perG + i)})
+				_ = r.Total() // concurrent reader of the counters
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != goroutines*perG {
+		t.Fatalf("Total = %d, want %d", r.Total(), goroutines*perG)
+	}
+	if got := r.CountByKind(KindMetaCacheHit); got != goroutines*perG {
+		t.Fatalf("CountByKind = %d, want %d", got, goroutines*perG)
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("Events len = %d, want full ring", len(r.Events()))
+	}
+}
+
+func TestNoOpRecorderZeroAlloc(t *testing.T) {
+	var r Recorder = NopRecorder{}
+	ev := Event{Kind: KindGCStart, Clock: 42, SB: 7, A: 100, F0: 0.5}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(ev)
+	}); allocs != 0 {
+		t.Errorf("NopRecorder.Record allocates %v times per call", allocs)
+	}
+}
+
+func TestTraceRecorderRecordZeroAlloc(t *testing.T) {
+	r := NewTraceRecorder(1024)
+	ev := Event{Kind: KindSBClose, Clock: 1, SB: 2, Stream: 3, A: 4}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(ev)
+	}); allocs != 0 {
+		t.Errorf("TraceRecorder.Record allocates %v times per call", allocs)
+	}
+}
+
+// goldenJSONL is the exact JSONL stream for the events and samples in
+// TestWriteJSONLGolden: one line per event/sample, merge-ordered by clock,
+// with kind-specific field names in fixed order.
+const goldenJSONL = `{"ev":"gc_start","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"valid":25,"free_sb":9,"valid_ratio":0.25}
+{"ev":"gc_end","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"migrated":25,"free_sb":10,"valid_ratio":0.25}
+{"ev":"sample","run":"r1","clock":64,"interval_wa":0.125,"cum_wa":0.125,"free_sb":10,"threshold":500,"cache_hit":0.875,"queue_depth":0,"open_fill":[0.5,0]}
+{"ev":"threshold_update","run":"r1","clock":100,"old":500,"new":620,"probe_accuracy":0.75,"direction":1,"step":5,"inflection_seed":0}
+{"ev":"window_retrain","run":"r1","clock":100,"examples":256,"deployed":1,"duration_ns":1500000,"loss":0.0625,"threshold":620}
+{"ev":"meta_cache_miss","run":"r1","clock":120,"mppn":4096}
+{"ev":"write_stall","run":"r1","clock":130,"depth":3,"source":0,"wait_ns":0}
+`
+
+func TestWriteJSONLGolden(t *testing.T) {
+	events := []Event{
+		{Kind: KindGCStart, Clock: 10, SB: 3, Stream: 1, GCClass: 0, A: 25, B: 9, F0: 0.25},
+		{Kind: KindGCEnd, Clock: 10, SB: 3, Stream: 1, GCClass: 0, A: 25, B: 10, F0: 0.25},
+		{Kind: KindThresholdUpdate, Clock: 100, SB: -1, Stream: -1, GCClass: -1, A: 1, B: 5, C: 0, F0: 500, F1: 620, F2: 0.75},
+		{Kind: KindWindowRetrain, Clock: 100, SB: -1, Stream: -1, GCClass: -1, A: 256, B: 1, C: 1500000, F0: 0.0625, F1: 620},
+		{Kind: KindMetaCacheMiss, Clock: 120, SB: -1, Stream: -1, GCClass: -1, A: 4096},
+		{Kind: KindWriteStall, Clock: 130, SB: -1, Stream: -1, GCClass: -1, A: 3, B: 0},
+	}
+	samples := []Sample{
+		{Clock: 64, IntervalWA: 0.125, CumWA: 0.125, FreeSB: 10, Threshold: 500, CacheHitRatio: 0.875, OpenFill: []float64{0.5, 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, "r1", events, samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenJSONL {
+		t.Errorf("JSONL mismatch:\ngot:\n%s\nwant:\n%s", got, goldenJSONL)
+	}
+	// Every line must also be valid JSON.
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Errorf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if _, ok := m["ev"]; !ok {
+			t.Errorf("line %d missing ev field", i)
+		}
+	}
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	samples := []Sample{
+		{Clock: 128, IntervalWA: 0.25, CumWA: 0.2, FreeSB: 12, Threshold: 800, CacheHitRatio: 0.99, QueueDepth: 2, OpenFill: []float64{1, 0.5, 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row", len(lines))
+	}
+	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,open_fill_mean" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "128,0.250000,0.200000,12,800.000,0.990000,2.00,0.5000" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSamplerCadence(t *testing.T) {
+	var clocks []uint64
+	s := NewSampler(100, func(clock uint64) Sample { return Sample{Clock: clock} })
+	for c := uint64(1); c <= 550; c++ {
+		s.Tick(c)
+	}
+	for _, sm := range s.Series() {
+		clocks = append(clocks, sm.Clock)
+	}
+	want := []uint64{100, 200, 300, 400, 500}
+	if len(clocks) != len(want) {
+		t.Fatalf("clocks = %v, want %v", clocks, want)
+	}
+	for i := range want {
+		if clocks[i] != want[i] {
+			t.Fatalf("clocks = %v, want %v", clocks, want)
+		}
+	}
+	// A clock jump produces a single sample, not a backlog.
+	s.Tick(1000)
+	if n := len(s.Series()); n != 6 {
+		t.Fatalf("after jump: %d samples, want 6", n)
+	}
+	// Final always records the end state, but not twice at one clock.
+	s.Final(1000)
+	if n := len(s.Series()); n != 6 {
+		t.Fatalf("Final duplicated the last sample: %d", n)
+	}
+	s.Final(1042)
+	if n := len(s.Series()); n != 7 || s.Series()[6].Clock != 1042 {
+		t.Fatalf("Final did not record the end state: %+v", s.Series())
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	r := NewTraceRecorder(128)
+	r.Record(Event{Kind: KindGCStart, Clock: 5, SB: 1, Stream: 0, A: 10, F0: 0.1})
+	r.Record(Event{Kind: KindGCEnd, Clock: 5, SB: 1, Stream: 0, A: 10, F0: 0.1})
+	r.Record(Event{Kind: KindGCEnd, Clock: 9, SB: 2, Stream: 1, A: 30, F0: 0.3})
+	r.Record(Event{Kind: KindThresholdUpdate, Clock: 10, F0: 0, F1: 700, C: 1})
+	r.Record(Event{Kind: KindThresholdUpdate, Clock: 20, F0: 700, F1: 650, A: -1, B: 4})
+	r.Record(Event{Kind: KindWindowRetrain, Clock: 20, A: 100, B: 1, F0: 0.5})
+	r.Record(Event{Kind: KindMetaCacheHit})
+	r.Record(Event{Kind: KindMetaCacheHit})
+	r.Record(Event{Kind: KindMetaCacheMiss})
+	r.Record(Event{Kind: KindWriteStall, A: 4})
+	samples := []Sample{
+		{Clock: 10, IntervalWA: 0.5, CumWA: 0.5},
+		{Clock: 20, IntervalWA: 0.1, CumWA: 0.3},
+	}
+	rep := BuildReport(r, samples)
+	if rep.GCCount != 2 || rep.GCMigrated != 40 {
+		t.Errorf("GC: %+v", rep)
+	}
+	if rep.GCByStream[0] != 1 || rep.GCByStream[1] != 1 {
+		t.Errorf("GCByStream = %v", rep.GCByStream)
+	}
+	if rep.ThresholdUpdates != 2 || rep.ThresholdFirst != 700 || rep.ThresholdFinal != 650 {
+		t.Errorf("threshold: %+v", rep)
+	}
+	if rep.CacheHits != 2 || rep.CacheMisses != 1 || rep.WriteStalls != 1 {
+		t.Errorf("counters: %+v", rep)
+	}
+	if rep.Retrains != 1 || rep.Deploys != 1 {
+		t.Errorf("retrains: %+v", rep)
+	}
+	if rep.FinalCumWA != 0.3 || rep.PeakIntWA != 0.5 {
+		t.Errorf("WA: %+v", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"gc collections       2", "threshold", "meta cache", "write stalls         1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder consumes trace events. Implementations must tolerate events from
+// multiple goroutines (the timing model fans requests out).
+type Recorder interface {
+	Record(ev Event)
+}
+
+// NopRecorder discards every event. It exists for call sites that want an
+// always-non-nil Recorder; the instrumented packages instead keep a nil
+// Recorder and skip the call entirely, which is cheaper still.
+type NopRecorder struct{}
+
+// Record implements Recorder. It does nothing and never allocates.
+func (NopRecorder) Record(Event) {}
+
+// TraceRecorder is a bounded in-memory event ring: the last capacity events
+// are retained, older ones are overwritten, and per-kind totals survive
+// overwrites. Slot indices are reserved with an atomic counter so ordering
+// is cheap; the slot write itself is guarded by a mutex — at simulator event
+// rates an uncontended mutex is faster than a correct lock-free slot
+// protocol and keeps the race detector meaningful for callers.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	buf    []Event
+	mask   uint64
+	next   atomic.Uint64
+	counts [numKinds]atomic.Uint64
+}
+
+// DefaultRingCapacity is the event capacity used when callers pass a
+// non-positive capacity to NewTraceRecorder.
+const DefaultRingCapacity = 1 << 16
+
+// NewTraceRecorder creates a recorder retaining the last capacity events,
+// rounded up to a power of two. capacity <= 0 selects DefaultRingCapacity.
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRecorder{
+		buf:  make([]Event, n),
+		mask: uint64(n - 1),
+	}
+}
+
+// Capacity returns the ring capacity in events.
+func (r *TraceRecorder) Capacity() int { return len(r.buf) }
+
+// Record implements Recorder.
+func (r *TraceRecorder) Record(ev Event) {
+	if int(ev.Kind) < numKinds {
+		r.counts[ev.Kind].Add(1)
+	}
+	r.mu.Lock()
+	i := r.next.Add(1) - 1
+	r.buf[i&r.mask] = ev
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (including overwritten
+// ones). Safe to call concurrently with Record.
+func (r *TraceRecorder) Total() uint64 { return r.next.Load() }
+
+// Dropped returns how many events have been overwritten by ring wraparound.
+func (r *TraceRecorder) Dropped() uint64 {
+	if t := r.Total(); t > uint64(len(r.buf)) {
+		return t - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// CountByKind returns the total number of events of the given kind ever
+// recorded, including ones the ring has since overwritten.
+func (r *TraceRecorder) CountByKind(k Kind) uint64 {
+	if int(k) >= numKinds {
+		return 0
+	}
+	return r.counts[k].Load()
+}
+
+// Events returns the retained events in record order (oldest first).
+func (r *TraceRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.next.Load()
+	if total <= uint64(len(r.buf)) {
+		out := make([]Event, total)
+		copy(out, r.buf[:total])
+		return out
+	}
+	out := make([]Event, len(r.buf))
+	start := total & r.mask
+	n := copy(out, r.buf[start:])
+	copy(out[n:], r.buf[:start])
+	return out
+}
+
+// Reset discards all retained events and totals.
+func (r *TraceRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next.Store(0)
+	for i := range r.counts {
+		r.counts[i].Store(0)
+	}
+	for i := range r.buf {
+		r.buf[i] = Event{}
+	}
+}

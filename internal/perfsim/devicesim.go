@@ -7,6 +7,7 @@ import (
 	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
 )
@@ -31,6 +32,12 @@ type Machine struct {
 	coreFree int64   // classifier core (PHFTL only)
 
 	pending []pendingOp
+
+	// rec/sampler, when non-nil (installed by Observe), capture
+	// die-contention stall events and per-request gauge samples.
+	rec         obs.Recorder
+	sampler     *obs.Sampler
+	lastArrival int64
 }
 
 // NewMachine builds a scheme over a hooked device. For SchemePHFTL the
@@ -57,6 +64,24 @@ func NewMachine(scheme sim.Scheme, geo nand.Geometry, t Timing, opts *core.Optio
 	return m, nil
 }
 
+// Observe wires the machine into an instance observation (created with
+// sim.Observe on m.In): host writes delayed by busy dies emit
+// obs.KindWriteStall events, each request ticks the sampler, and samples
+// gain the busy-die count as their queue-depth gauge.
+func (m *Machine) Observe(o *sim.Observation) {
+	m.rec = o.Rec
+	m.sampler = o.Sampler
+	o.QueueDepth = func() float64 {
+		busy := 0
+		for _, f := range m.dieFree {
+			if f > m.lastArrival {
+				busy++
+			}
+		}
+		return float64(busy)
+	}
+}
+
 func (m *Machine) service(kind nand.OpKind) int64 {
 	switch kind {
 	case nand.OpRead:
@@ -74,6 +99,7 @@ func (m *Machine) service(kind nand.OpKind) int64 {
 // and metadata work it triggered keeps the dies busy afterwards, delaying
 // future requests instead).
 func (m *Machine) WriteRequest(arrivalNS int64, lpns []nand.LPN, seq bool) (int64, error) {
+	m.lastArrival = arrivalNS
 	start := arrivalNS + m.timing.CmdNS
 	dmaDone := start + int64(float64(len(lpns)*m.geo.PageSize)/m.timing.DMABytesPerNS)
 	hostFinish := dmaDone
@@ -96,6 +122,21 @@ func (m *Machine) WriteRequest(arrivalNS int64, lpns []nand.LPN, seq bool) (int6
 			svc := m.service(op.kind)
 			s := maxI64(dmaDone, m.dieFree[op.die])
 			if !hostProgramSeen && op.kind == nand.OpProgram {
+				// The host page had to wait for its die: a GC or metadata
+				// burst is blocking the critical path (Figure 7's tails).
+				if wait := m.dieFree[op.die] - dmaDone; wait > 0 && m.rec != nil {
+					busy := 0
+					for _, f := range m.dieFree {
+						if f > dmaDone {
+							busy++
+						}
+					}
+					m.rec.Record(obs.Event{
+						Kind: obs.KindWriteStall, Clock: m.In.FTL.Clock(),
+						SB: -1, Stream: -1, GCClass: -1,
+						A: int64(busy), B: 1, C: wait,
+					})
+				}
 				// The first program of this FTL call is the host page.
 				if predDone > s {
 					s = predDone
@@ -111,6 +152,9 @@ func (m *Machine) WriteRequest(arrivalNS int64, lpns []nand.LPN, seq bool) (int6
 				}
 			}
 		}
+	}
+	if m.sampler != nil {
+		m.sampler.Tick(m.In.FTL.Clock())
 	}
 	return hostFinish + m.timing.CompletionNS - arrivalNS, nil
 }

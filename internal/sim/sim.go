@@ -12,6 +12,7 @@ import (
 	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
 	"github.com/phftl/phftl/internal/sepbit"
 	"github.com/phftl/phftl/internal/trace"
 	"github.com/phftl/phftl/internal/tworegion"
@@ -56,7 +57,77 @@ type Instance struct {
 	Scheme Scheme
 	FTL    *ftl.FTL
 	PHFTL  *core.PHFTL // nil for baselines
+
+	// Obs, when non-nil (installed by Observe), collects trace events and
+	// periodic samples during Replay/RunOn.
+	Obs *Observation
 }
+
+// Observation couples a trace recorder and a gauge sampler to an instance.
+type Observation struct {
+	Rec     *obs.TraceRecorder
+	Sampler *obs.Sampler
+
+	// QueueDepth, when non-nil, supplies the timing model's busy-die count
+	// to samples (set by perfsim.Machine.Observe).
+	QueueDepth func() float64
+}
+
+// ObserveConfig sizes an Observation. Zero values select defaults.
+type ObserveConfig struct {
+	// RingCap is the event-ring capacity (default obs.DefaultRingCapacity).
+	RingCap int
+	// SampleEvery is the sampling interval in user-page writes (default:
+	// 1/64th of the exported capacity, floored at 64 pages).
+	SampleEvery uint64
+}
+
+// Observe instruments an instance: the FTL, the PHFTL scheme and its
+// metadata store all emit into one trace recorder, and a sampler snapshots
+// interval WA, free superblocks, per-stream open-superblock fill, threshold
+// and cache hit ratio on the virtual clock. Call before Replay/RunOn.
+func Observe(in *Instance, cfg ObserveConfig) *Observation {
+	every := cfg.SampleEvery
+	if every == 0 {
+		every = uint64(in.FTL.ExportedPages() / 64)
+		if every < 64 {
+			every = 64
+		}
+	}
+	o := &Observation{Rec: obs.NewTraceRecorder(cfg.RingCap)}
+	var prevUser, prevFlash uint64
+	var fillBuf []float64
+	o.Sampler = obs.NewSampler(every, func(clock uint64) obs.Sample {
+		st := in.FTL.Stats()
+		fillBuf = in.FTL.OpenFill(fillBuf)
+		s := obs.Sample{
+			Clock:         clock,
+			IntervalWA:    metrics.WriteAmp(st.FlashPageWrites()-prevFlash, st.UserPageWrites-prevUser),
+			CumWA:         st.WA(),
+			FreeSB:        in.FTL.FreeSuperblocks(),
+			OpenFill:      append([]float64(nil), fillBuf...),
+			CacheHitRatio: 1,
+		}
+		prevUser, prevFlash = st.UserPageWrites, st.FlashPageWrites()
+		if in.PHFTL != nil {
+			s.Threshold = in.PHFTL.Threshold()
+			s.CacheHitRatio = in.PHFTL.MetaStats().HitRate()
+		}
+		if o.QueueDepth != nil {
+			s.QueueDepth = o.QueueDepth()
+		}
+		return s
+	})
+	in.FTL.SetRecorder(o.Rec)
+	if in.PHFTL != nil {
+		in.PHFTL.SetRecorder(o.Rec, in.FTL.Clock)
+	}
+	in.Obs = o
+	return o
+}
+
+// Finish takes a final sample at the given clock.
+func (o *Observation) Finish(clock uint64) { o.Sampler.Final(clock) }
 
 // Build constructs a scheme over the geometry. PHFTL options apply only to
 // SchemePHFTL; pass nil for defaults.
@@ -161,6 +232,9 @@ func (in *Instance) Replay(ops []trace.PageOp) error {
 			if err := in.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: op.ReqPages, Seq: op.Seq}); err != nil {
 				return err
 			}
+			if in.Obs != nil {
+				in.Obs.Sampler.Tick(in.FTL.Clock())
+			}
 		} else if err := in.FTL.Read(lpn, op.ReqPages); err != nil && err != ftl.ErrUnmapped {
 			return err
 		}
@@ -173,10 +247,14 @@ func (in *Instance) Replay(ops []trace.PageOp) error {
 	return nil
 }
 
-// Finish resolves outstanding classifier predictions.
+// Finish resolves outstanding classifier predictions and takes the final
+// observation sample.
 func (in *Instance) Finish() {
 	if in.PHFTL != nil {
 		in.PHFTL.Finish(in.FTL.Clock())
+	}
+	if in.Obs != nil {
+		in.Obs.Finish(in.FTL.Clock())
 	}
 }
 
