@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench
+.PHONY: check vet build test race fmt bench smoke
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt
+check: vet build race fmt smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## smoke: short parallel wabench sweep under -race — catches regressions in
+## the runner's telemetry-sink serialization that unit tests can miss.
+smoke:
+	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52,#144" -parallel 2 \
+		-csv /tmp/wabench-smoke.csv -telemetry /tmp/wabench-smoke.jsonl
 
 # gofmt -l prints offending files; grep inverts that into an exit status.
 fmt:

@@ -21,6 +21,7 @@ import (
 
 	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
 	"github.com/phftl/phftl/internal/workload"
@@ -137,23 +138,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := res.FTLStats
-	fmt.Printf("\nwrite amplification    %.1f%% (data-only %.1f%%)\n", res.WA*100, res.DataWA*100)
-	fmt.Printf("user page writes       %d\n", s.UserPageWrites)
-	fmt.Printf("gc page migrations     %d (over %d victims, %d futile passes)\n", s.GCPageWrites, s.GCVictims, s.GCFutile)
-	fmt.Printf("meta page writes       %d\n", s.MetaPageWrites)
-	fmt.Printf("wear                   %d erases (max/block %d, imbalance %.2f)\n",
-		wear.TotalErases, wear.MaxErases, wear.ImbalanceRatio)
-	if lifetime > 0 {
-		fmt.Printf("endurance estimate     %d user page writes at 3K P/E cycles\n", lifetime)
-	}
-	if res.Confusion != nil {
-		fmt.Printf("classifier             %s\n", res.Confusion)
-		fmt.Printf("threshold              %.0f page-writes\n", res.Threshold)
-		ms := res.MetaStats
-		fmt.Printf("metadata cache         %.2f%% hit rate (%d hits, %d misses, %d open-buffer hits)\n",
-			ms.HitRate()*100, ms.CacheHits, ms.CacheMisses, ms.OpenHits)
-	}
+	fmt.Printf("\n%s", runner.Summary(res, wear, lifetime))
 
 	if o := in.Obs; o != nil {
 		if telemetryF != nil {

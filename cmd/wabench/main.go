@@ -3,9 +3,14 @@
 // Alibaba Cloud drive traces, plus the normalized average, and reports the
 // metadata-cache hit rates the paper quotes in §V-B.
 //
+// The trace×scheme cells are independent single-threaded simulations; they
+// run on a worker pool (-parallel, default GOMAXPROCS) and are re-serialized
+// in input order, so the table, CSV and merged telemetry are byte-identical
+// at any parallelism.
+//
 // Usage:
 //
-//	wabench [-dw 20] [-traces "#52,#144"] [-schemes "Base,PHFTL"] [-csv out.csv]
+//	wabench [-dw 20] [-traces "#52,#144"] [-schemes "Base,PHFTL"] [-parallel 8] [-csv out.csv]
 //	wabench -traces "#52" -telemetry out.jsonl -cpuprofile cpu.pb.gz
 package main
 
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/workload"
 )
@@ -24,11 +30,29 @@ func main() {
 	driveWrites := flag.Int("dw", 20, "full drive writes to replay per trace (paper: 20)")
 	tracesFlag := flag.String("traces", "", "comma-separated trace IDs (default: all 20)")
 	schemesFlag := flag.String("schemes", "", "comma-separated schemes (default: Base,2R,SepBIT,PHFTL)")
+	parallel := flag.Int("parallel", 0, "trace×scheme cells to run concurrently (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	profiles, err := runner.ParseTraces(*tracesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	schemes, err := runner.ParseSchemes(*schemesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hasPHFTL := false
+	for _, s := range schemes {
+		if s == sim.SchemePHFTL {
+			hasPHFTL = true
+		}
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -44,25 +68,43 @@ func main() {
 		}
 	}
 
-	profiles := workload.Profiles()
-	if *tracesFlag != "" {
-		var sel []workload.Profile
-		for _, id := range strings.Split(*tracesFlag, ",") {
-			p, ok := workload.ProfileByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown trace %q\n", id)
-				os.Exit(1)
-			}
-			sel = append(sel, p)
+	byID := make(map[string]workload.Profile, len(profiles))
+	cells := make([]runner.Cell, 0, len(profiles)*len(schemes))
+	for _, p := range profiles {
+		byID[p.ID] = p
+		for _, s := range schemes {
+			cells = append(cells, runner.Cell{Trace: p.ID, Scheme: s})
 		}
-		profiles = sel
 	}
-	schemes := sim.Schemes()
-	if *schemesFlag != "" {
-		schemes = nil
-		for _, s := range strings.Split(*schemesFlag, ",") {
-			schemes = append(schemes, sim.Scheme(strings.TrimSpace(s)))
+	observe := telemetryF != nil
+	run := func(c runner.Cell) (runner.Output, error) {
+		p := byID[c.Trace]
+		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+		in, err := sim.Build(c.Scheme, geo, nil)
+		if err != nil {
+			return runner.Output{}, err
 		}
+		if observe {
+			sim.Observe(in, sim.ObserveConfig{})
+		}
+		res, err := sim.RunOn(in, p, *driveWrites)
+		if err != nil {
+			return runner.Output{}, err
+		}
+		out := runner.Output{Result: res}
+		if observe {
+			out.Events = in.Obs.Rec.Events()
+			out.Samples = in.Obs.Sampler.Series()
+		}
+		return out, nil
+	}
+	opts := runner.Options{Parallel: *parallel, Progress: os.Stderr}
+	if telemetryF != nil {
+		opts.Telemetry = telemetryF
+	}
+	outs, runErr := runner.Run(cells, run, opts)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 	}
 
 	fmt.Printf("Figure 5: write amplification (GC data writes), %d drive writes per trace\n", *driveWrites)
@@ -72,71 +114,80 @@ func main() {
 	for _, s := range schemes {
 		fmt.Printf(" %9s", s)
 	}
-	fmt.Printf("  %s\n", "phftl: meta%% hit-rate thr")
+	if hasPHFTL {
+		fmt.Printf("  %s", "phftl: meta% hit-rate thr")
+	}
+	fmt.Println()
 
 	var csv strings.Builder
-	csv.WriteString("trace,size,scheme,wa,data_wa,user_writes,gc_writes,meta_writes,hit_rate\n")
+	csv.WriteString(runner.CSVHeader)
 
 	sums := make(map[sim.Scheme]float64)
+	counts := make(map[sim.Scheme]int)
 	norms := make(map[sim.Scheme]float64) // normalized to Base per trace
-	count := 0
-	for _, p := range profiles {
+	normCounts := make(map[sim.Scheme]int)
+	traceCount := 0
+	for i, p := range profiles {
 		fmt.Printf("%-7s %-6s", p.ID, p.DriveClass)
 		was := make(map[sim.Scheme]float64)
+		ok := make(map[sim.Scheme]bool)
 		var hitRate, thr, metaFrac float64
-		for _, s := range schemes {
-			geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-			in, err := sim.Build(s, geo, nil)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s on %s: %v\n", s, p.ID, err)
-				os.Exit(1)
+		phftlOK := false
+		for j, s := range schemes {
+			out := outs[i*len(schemes)+j]
+			if out.Err != nil {
+				fmt.Printf(" %9s", "err")
+				continue
 			}
-			if telemetryF != nil {
-				sim.Observe(in, sim.ObserveConfig{})
-			}
-			res, err := sim.RunOn(in, p, *driveWrites)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s on %s: %v\n", s, p.ID, err)
-				os.Exit(1)
-			}
-			if telemetryF != nil {
-				run := fmt.Sprintf("%s/%s", p.ID, s)
-				if err := obs.WriteJSONL(telemetryF, run, in.Obs.Rec.Events(), in.Obs.Sampler.Series()); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-			}
-			was[s] = res.DataWA
+			res := out.Result
+			was[s], ok[s] = res.DataWA, true
 			fmt.Printf(" %8.1f%%", res.DataWA*100)
 			if s == sim.SchemePHFTL {
+				phftlOK = true
 				hitRate = res.MetaStats.HitRate()
 				thr = res.Threshold
 				metaFrac = float64(res.FTLStats.MetaPageWrites) / float64(res.FTLStats.FlashPageWrites())
 			}
-			fmt.Fprintf(&csv, "%s,%s,%s,%.4f,%.4f,%d,%d,%d,%.4f\n",
-				p.ID, p.DriveClass, s, res.WA, res.DataWA,
-				res.FTLStats.UserPageWrites, res.FTLStats.GCPageWrites,
-				res.FTLStats.MetaPageWrites, hitRate)
-		}
-		fmt.Printf("   %4.2f%% %5.1f%% %7.0f\n", metaFrac*100, hitRate*100, thr)
-		for _, s := range schemes {
-			sums[s] += was[s]
-			if was[sim.SchemeBase] > 0 {
-				norms[s] += was[s] / was[sim.SchemeBase]
+			if err := runner.WriteCSVRow(&csv, p.DriveClass, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 		}
-		count++
-	}
-	if count > 1 {
-		fmt.Printf("%-7s %-6s", "AVG", "")
-		for _, s := range schemes {
-			fmt.Printf(" %8.1f%%", sums[s]/float64(count)*100)
+		if phftlOK {
+			fmt.Printf("   %4.2f%% %5.1f%% %7.0f", metaFrac*100, hitRate*100, thr)
 		}
 		fmt.Println()
-		if _, ok := sums[sim.SchemeBase]; ok {
+		for _, s := range schemes {
+			if !ok[s] {
+				continue
+			}
+			sums[s] += was[s]
+			counts[s]++
+			if ok[sim.SchemeBase] && was[sim.SchemeBase] > 0 {
+				norms[s] += was[s] / was[sim.SchemeBase]
+				normCounts[s]++
+			}
+		}
+		traceCount++
+	}
+	if traceCount > 1 {
+		fmt.Printf("%-7s %-6s", "AVG", "")
+		for _, s := range schemes {
+			if counts[s] == 0 {
+				fmt.Printf(" %9s", "-")
+				continue
+			}
+			fmt.Printf(" %8.1f%%", sums[s]/float64(counts[s])*100)
+		}
+		fmt.Println()
+		if counts[sim.SchemeBase] > 0 {
 			fmt.Printf("%-7s %-6s", "NORM", "")
 			for _, s := range schemes {
-				fmt.Printf(" %9.3f", norms[s]/float64(count))
+				if normCounts[s] == 0 {
+					fmt.Printf(" %9s", "-")
+					continue
+				}
+				fmt.Printf(" %9.3f", norms[s]/float64(normCounts[s]))
 			}
 			fmt.Println(" (normalized to Base, cf. Fig. 5 right)")
 		}
@@ -157,6 +208,9 @@ func main() {
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if runErr != nil {
 		os.Exit(1)
 	}
 }

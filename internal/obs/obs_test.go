@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -178,6 +179,31 @@ func TestWriteSamplesCSV(t *testing.T) {
 	}
 	if lines[1] != "128,0.250000,0.200000,12,800.000,0.990000,2.00,0.5000" {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// A NaN CacheHitRatio marks schemes without a metadata cache: the JSONL
+// sink must omit the field (JSON cannot represent NaN, and 0 or 1 would
+// read as a real measurement) and the CSV sink must leave the cell empty.
+func TestSinksOmitNaNCacheHit(t *testing.T) {
+	s := Sample{Clock: 64, IntervalWA: 0.5, CumWA: 0.5, FreeSB: 8,
+		CacheHitRatio: math.NaN(), OpenFill: []float64{0.25}}
+	line := string(AppendSampleJSON(nil, s, "r1"))
+	if strings.Contains(line, "cache_hit") {
+		t.Errorf("JSONL line carries cache_hit for NaN ratio: %s", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, line)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, []Sample{s}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := "64,0.500000,0.500000,8,0.000,,0.00,0.2500"; lines[1] != want {
+		t.Errorf("CSV row = %q, want %q", lines[1], want)
 	}
 }
 

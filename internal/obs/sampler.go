@@ -19,7 +19,8 @@ type Sample struct {
 	// baselines and before the first window).
 	Threshold float64
 	// CacheHitRatio is the metadata cache's cumulative flash-backed hit
-	// ratio (1 for baselines, which have no metadata store).
+	// ratio. NaN marks schemes without a metadata store (the baselines);
+	// the JSONL sink omits the field and the CSV sink leaves it empty.
 	CacheHitRatio float64
 	// QueueDepth is the busy-die count observed by the timing model at the
 	// last request (0 outside timing-model runs).

@@ -109,7 +109,11 @@ func AppendSampleJSON(dst []byte, s Sample, run string) []byte {
 	dst = appendKVF(dst, "cum_wa", s.CumWA)
 	dst = appendKV(dst, "free_sb", int64(s.FreeSB))
 	dst = appendKVF(dst, "threshold", s.Threshold)
-	dst = appendKVF(dst, "cache_hit", s.CacheHitRatio)
+	if !math.IsNaN(s.CacheHitRatio) {
+		// NaN means "no metadata cache" (baseline schemes); omit the field
+		// rather than emit a fake value (JSON cannot represent NaN).
+		dst = appendKVF(dst, "cache_hit", s.CacheHitRatio)
+	}
 	dst = appendKVF(dst, "queue_depth", s.QueueDepth)
 	dst = append(dst, `,"open_fill":[`...)
 	for i, f := range s.OpenFill {
@@ -161,9 +165,13 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 			}
 			fill /= float64(len(s.OpenFill))
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.3f,%.6f,%.2f,%.4f\n",
+		hit := ""
+		if !math.IsNaN(s.CacheHitRatio) {
+			hit = fmt.Sprintf("%.6f", s.CacheHitRatio)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.3f,%s,%.2f,%.4f\n",
 			s.Clock, s.IntervalWA, s.CumWA, s.FreeSB, s.Threshold,
-			s.CacheHitRatio, s.QueueDepth, fill); err != nil {
+			hit, s.QueueDepth, fill); err != nil {
 			return err
 		}
 	}

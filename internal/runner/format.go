@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/sim"
+)
+
+// CSVHeader is the wabench per-cell CSV header row (with trailing newline).
+const CSVHeader = "trace,size,scheme,wa,data_wa,user_writes,gc_writes,meta_writes,hit_rate\n"
+
+// WriteCSVRow writes one wabench CSV row for a cell result. hit_rate is a
+// PHFTL-only quantity (the metadata-cache hit rate); baseline schemes have
+// no metadata cache, so their rows leave the column empty instead of
+// repeating a neighbouring PHFTL row's value.
+func WriteCSVRow(w io.Writer, driveClass string, res sim.Result) error {
+	hit := ""
+	if res.Scheme == sim.SchemePHFTL {
+		hit = fmt.Sprintf("%.4f", res.MetaStats.HitRate())
+	}
+	_, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.4f,%d,%d,%d,%s\n",
+		res.Profile, driveClass, res.Scheme, res.WA, res.DataWA,
+		res.FTLStats.UserPageWrites, res.FTLStats.GCPageWrites,
+		res.FTLStats.MetaPageWrites, hit)
+	return err
+}
+
+// Summary renders the single-run measurement block (WA, GC activity, wear,
+// and for PHFTL the classifier/threshold/cache statistics) that phftlsim
+// prints. lifetime 0 suppresses the endurance line.
+func Summary(res sim.Result, wear ftl.WearReport, lifetime uint64) string {
+	var b strings.Builder
+	s := res.FTLStats
+	fmt.Fprintf(&b, "write amplification    %.1f%% (data-only %.1f%%)\n", res.WA*100, res.DataWA*100)
+	fmt.Fprintf(&b, "user page writes       %d\n", s.UserPageWrites)
+	fmt.Fprintf(&b, "gc page migrations     %d (over %d victims, %d futile passes)\n", s.GCPageWrites, s.GCVictims, s.GCFutile)
+	fmt.Fprintf(&b, "meta page writes       %d\n", s.MetaPageWrites)
+	fmt.Fprintf(&b, "wear                   %d erases (max/block %d, imbalance %.2f)\n",
+		wear.TotalErases, wear.MaxErases, wear.ImbalanceRatio)
+	if lifetime > 0 {
+		fmt.Fprintf(&b, "endurance estimate     %d user page writes at 3K P/E cycles\n", lifetime)
+	}
+	if res.Confusion != nil {
+		fmt.Fprintf(&b, "classifier             %s\n", res.Confusion)
+		fmt.Fprintf(&b, "threshold              %.0f page-writes\n", res.Threshold)
+		ms := res.MetaStats
+		fmt.Fprintf(&b, "metadata cache         %.2f%% hit rate (%d hits, %d misses, %d open-buffer hits)\n",
+			ms.HitRate()*100, ms.CacheHits, ms.CacheMisses, ms.OpenHits)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+// Package runner is the concurrency engine behind the benchmark harnesses:
+// it fans a set of independent (trace, scheme) simulation cells out over a
+// bounded worker pool and re-serializes their outputs in input order, so a
+// parallel run produces byte-identical tables, CSVs and merged JSONL
+// telemetry to a serial one. Each cell's events and samples are buffered by
+// the cell itself; all telemetry writes go through the single collector
+// goroutine, which is the only writer of the shared sink. A cell that fails
+// (error or panic) is reported with its trace/scheme tag and does not abort
+// or corrupt the other cells.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/sim"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+// Cell identifies one independent unit of work: a trace replayed under a
+// scheme. Trace is an opaque tag to the engine (harnesses map it back to a
+// workload profile); it only feeds run tagging and error reports.
+type Cell struct {
+	Trace  string
+	Scheme sim.Scheme
+}
+
+// RunTag returns the "trace/scheme" tag used for telemetry lines and error
+// reports, matching the serial harnesses' historical tagging.
+func (c Cell) RunTag() string { return c.Trace + "/" + string(c.Scheme) }
+
+// Output is what one cell produces. Events and Samples are the cell's own
+// buffered telemetry (nil when the cell did not observe); Extra carries any
+// harness-specific payload (e.g. perfbench's phase results). Err is the
+// cell's failure, if any, already tagged with the cell's trace/scheme.
+type Output struct {
+	Cell    Cell
+	Result  sim.Result
+	Events  []obs.Event
+	Samples []obs.Sample
+	Extra   any
+	Err     error
+}
+
+// Func executes one cell. It runs on a worker goroutine and must not share
+// mutable state with other cells; everything it returns is handed to the
+// collector. A panic is recovered and converted into the cell's error.
+type Func func(Cell) (Output, error)
+
+// Options configures a Run.
+type Options struct {
+	// Parallel is the worker-pool size. <= 0 selects runtime.GOMAXPROCS(0).
+	Parallel int
+
+	// Telemetry, when non-nil, receives every cell's events and samples as
+	// run-tagged JSONL, in cell input order. Writes are serialized through
+	// the collector goroutine, so a plain *os.File is safe.
+	Telemetry io.Writer
+
+	// Progress, when non-nil, receives a carriage-return progress line
+	// (completed/total cells, elapsed wall time) as cells finish, and a
+	// final newline. Point it at os.Stderr to keep stdout parseable.
+	Progress io.Writer
+}
+
+// Run executes every cell on a pool of Options.Parallel workers and returns
+// the outputs indexed like cells. The returned error joins every per-cell
+// failure (tagged trace/scheme) plus any telemetry-sink write error; outputs
+// of surviving cells are valid even when some cells failed. Output order,
+// telemetry line order and all output bytes are independent of Parallel.
+func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	type completion struct {
+		idx int
+		out Output
+	}
+	jobs := make(chan int)
+	completions := make(chan completion)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				completions <- completion{i, runCell(fn, cells[i])}
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(completions)
+	}()
+
+	// The collector is the single consumer of completions and the single
+	// writer of the telemetry sink. Cells complete in any order; emission
+	// is held back until every lower-index cell has been emitted.
+	outputs := make([]Output, len(cells))
+	errs := make([]error, len(cells))
+	var sinkErr error
+	pending := make(map[int]Output, workers)
+	next, completed := 0, 0
+	start := time.Now()
+	for c := range completions {
+		completed++
+		pending[c.idx] = c.out
+		for {
+			out, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if out.Err != nil {
+				errs[next] = out.Err
+			} else if opts.Telemetry != nil && sinkErr == nil && (len(out.Events) > 0 || len(out.Samples) > 0) {
+				if err := obs.WriteJSONL(opts.Telemetry, out.Cell.RunTag(), out.Events, out.Samples); err != nil {
+					sinkErr = fmt.Errorf("runner: telemetry sink: %w", err)
+				}
+			}
+			outputs[next] = out
+			next++
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "\r%d/%d cells done, %s elapsed",
+				completed, len(cells), time.Since(start).Round(100*time.Millisecond))
+		}
+	}
+	if opts.Progress != nil {
+		fmt.Fprintln(opts.Progress)
+	}
+	return outputs, errors.Join(append(errs, sinkErr)...)
+}
+
+// runCell executes fn for one cell, converting a panic into an error so one
+// bad cell cannot take down the whole sweep.
+func runCell(fn Func, c Cell) (out Output) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Output{Cell: c, Err: fmt.Errorf("%s: panic: %v\n%s", c.RunTag(), r, debug.Stack())}
+		}
+	}()
+	o, err := fn(c)
+	o.Cell = c
+	if err != nil {
+		o.Err = fmt.Errorf("%s: %w", c.RunTag(), err)
+	}
+	return o
+}
+
+// ParseSchemes validates a comma-separated scheme list against the Figure 5
+// scheme set, preserving the caller's order. Empty selects all schemes.
+func ParseSchemes(flagVal string) ([]sim.Scheme, error) {
+	valid := sim.Schemes()
+	if flagVal == "" {
+		return valid, nil
+	}
+	names := make([]string, len(valid))
+	for i, v := range valid {
+		names[i] = string(v)
+	}
+	var out []sim.Scheme
+	for _, f := range strings.Split(flagVal, ",") {
+		s := sim.Scheme(strings.TrimSpace(f))
+		ok := false
+		for _, v := range valid {
+			if s == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q (valid: %s)", s, strings.Join(names, ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ParseTraces validates a comma-separated trace-ID list against the
+// synthetic profile set, preserving the caller's order. Empty selects all
+// profiles.
+func ParseTraces(flagVal string) ([]workload.Profile, error) {
+	if flagVal == "" {
+		return workload.Profiles(), nil
+	}
+	var out []workload.Profile
+	for _, f := range strings.Split(flagVal, ",") {
+		id := strings.TrimSpace(f)
+		p, ok := workload.ProfileByID(id)
+		if !ok {
+			all := workload.Profiles()
+			names := make([]string, len(all))
+			for i, q := range all {
+				names[i] = q.ID
+			}
+			return nil, fmt.Errorf("unknown trace %q (valid: %s)", id, strings.Join(names, ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

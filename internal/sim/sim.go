@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/ftl"
@@ -101,12 +102,14 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 		st := in.FTL.Stats()
 		fillBuf = in.FTL.OpenFill(fillBuf)
 		s := obs.Sample{
-			Clock:         clock,
-			IntervalWA:    metrics.WriteAmp(st.FlashPageWrites()-prevFlash, st.UserPageWrites-prevUser),
-			CumWA:         st.WA(),
-			FreeSB:        in.FTL.FreeSuperblocks(),
-			OpenFill:      append([]float64(nil), fillBuf...),
-			CacheHitRatio: 1,
+			Clock:      clock,
+			IntervalWA: metrics.WriteAmp(st.FlashPageWrites()-prevFlash, st.UserPageWrites-prevUser),
+			CumWA:      st.WA(),
+			FreeSB:     in.FTL.FreeSuperblocks(),
+			OpenFill:   append([]float64(nil), fillBuf...),
+			// Baselines have no metadata cache; NaN marks the gauge as
+			// not-applicable (the sinks omit it) instead of a fake 100%.
+			CacheHitRatio: math.NaN(),
 		}
 		prevUser, prevFlash = st.UserPageWrites, st.FlashPageWrites()
 		if in.PHFTL != nil {
