@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench smoke
+.PHONY: check vet build test race fmt bench benchcmp smoke
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
 check: vet build race fmt smoke
@@ -30,6 +30,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-## bench: disabled-recorder overhead check against the seed write path.
+## bench: the perf-critical microbenchmark suite — replay write path (cold
+## and steady-state), model inference step, and GC victim selection — with
+## allocation counts, so the zero-allocation invariant is visible.
 bench:
-	$(GO) test -bench 'BenchmarkWritePath' -benchtime=200000x -count=3 -run '^$$' .
+	$(GO) test -bench 'BenchmarkWritePath' -benchtime=200000x -count=3 -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkPredictStep' -benchmem -run '^$$' ./internal/ml
+	$(GO) test -bench 'BenchmarkSelectVictim' -benchmem -run '^$$' ./internal/ftl
+
+## benchcmp: run the bench suite and fold it into a dated JSON snapshot
+## (benchmark name -> ns/op, allocs/op, B/op) for cross-PR comparison.
+## Compare against the previous BENCH_<date>.json with any JSON diff.
+benchcmp:
+	@{ $(GO) test -bench 'BenchmarkWritePath' -benchtime=100000x -count=3 -benchmem -run '^$$' . && \
+	   $(GO) test -bench 'BenchmarkPredictStep' -count=3 -benchmem -run '^$$' ./internal/ml && \
+	   $(GO) test -bench 'BenchmarkSelectVictim' -count=3 -benchmem -run '^$$' ./internal/ftl ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+	@echo "wrote BENCH_$$(date +%F).json"

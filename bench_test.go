@@ -9,10 +9,13 @@
 package phftl_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/nand"
 	"github.com/phftl/phftl/internal/perfsim"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
@@ -314,6 +317,41 @@ func BenchmarkWritePath(b *testing.B) {
 			b.ResetTimer()
 			if err := in.Replay(ops[:b.N]); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkWritePathSteadyState measures the per-page write cost once the
+// drive is in steady state — fully written, GC active, model deployed —
+// which is the regime wabench wall-clock is dominated by. With -benchmem it
+// also pins the zero-allocation invariant of the hot path (the alloc
+// regression tests in internal/core assert the same property exactly).
+func BenchmarkWritePathSteadyState(b *testing.B) {
+	for _, scheme := range []sim.Scheme{sim.SchemeBase, sim.SchemePHFTL} {
+		b.Run(string(scheme), func(b *testing.B) {
+			geo := sim.GeometryForDrive(8192, 16384)
+			in, err := sim.Build(scheme, geo, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exported := in.FTL.ExportedPages()
+			rng := rand.New(rand.NewSource(7))
+			write := func(lpn nand.LPN) {
+				if err := in.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for lpn := 0; lpn < exported; lpn++ {
+				write(nand.LPN(lpn))
+			}
+			for i := 0; i < 2*exported; i++ {
+				write(nand.LPN(rng.Intn(exported)))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				write(nand.LPN(rng.Intn(exported)))
 			}
 		})
 	}

@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a stable
+// machine-readable snapshot: a JSON object mapping benchmark name to its
+// ns/op, allocs/op and B/op. `make benchcmp` uses it to write dated
+// BENCH_<date>.json files that successive PRs can diff.
+//
+// Repeated runs of the same benchmark (-count=N) are folded into one entry:
+// ns/op keeps the minimum (the least-noisy estimate on a shared machine),
+// allocation counts keep the maximum (they are deterministic in steady
+// state, so any spread is itself a signal).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's folded measurements. AllocsPerOp and BytesPerOp
+// are pointers so benchmarks run without -benchmem serialize as null rather
+// than a fake 0.
+type Entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+}
+
+func main() {
+	results := make(map[string]*Entry)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		// A result line is "BenchmarkName-P  iters  v1 unit1  v2 unit2 ...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so snapshots compare across hosts.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ent := results[name]
+		first := ent == nil
+		if first {
+			ent = &Entry{}
+			results[name] = ent
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if first || v < ent.NsPerOp {
+					ent.NsPerOp = v
+				}
+			case "allocs/op":
+				if ent.AllocsPerOp == nil || v > *ent.AllocsPerOp {
+					ent.AllocsPerOp = ptr(v)
+				}
+			case "B/op":
+				if ent.BytesPerOp == nil || v > *ent.BytesPerOp {
+					ent.BytesPerOp = ptr(v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout) // map keys marshal sorted: stable diffs
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func ptr(v float64) *float64 { return &v }

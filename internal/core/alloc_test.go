@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/phftl/phftl/internal/ftl"
+	"github.com/phftl/phftl/internal/nand"
+)
+
+func allocTestGeo() nand.Geometry {
+	return nand.Geometry{PageSize: 4096, OOBSize: 64, PagesPerBlock: 8, BlocksPerDie: 256, Dies: 2}
+}
+
+// TestWritePathZeroAllocs pins the end-to-end zero-allocation invariant of
+// the steady-state PHFTL write path: once the device has cycled (every page
+// programmed at least once, buffers pooled, model deployed), a user write —
+// feature extraction, metadata fetch, quantized-GRU prediction, placement,
+// metadata put, GC when triggered — performs zero heap allocations.
+//
+// The measurement is aligned to start just after a window boundary and spans
+// far fewer writes than a window, so no retraining (which allocates by
+// design, on the host side) lands inside it.
+func TestWritePathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	f, p, err := Build(allocTestGeo(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	write := func() {
+		lpn := nand.LPN(rng.Intn(f.ExportedPages()))
+		if err := f.Write(ftl.UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: sequential fill, then enough random overwrites to cycle every
+	// superblock through GC and deploy a model.
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*f.ExportedPages(); i++ {
+		write()
+	}
+	if p.Stats().Deploys == 0 {
+		t.Fatal("warmup deployed no model; write path would skip prediction")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Align to a fresh training window so the measured writes cannot cross a
+	// retrain boundary.
+	w := p.Stats().Windows
+	for p.Stats().Windows == w {
+		write()
+	}
+	runs := 64
+	if max := p.windowSize / 2; runs > max {
+		runs = max
+	}
+	if runs < 1 {
+		t.Skipf("window size %d too small to measure inside a window", p.windowSize)
+	}
+	if allocs := testing.AllocsPerRun(runs, write); allocs != 0 {
+		t.Errorf("steady-state write allocates %.2f per call, want 0", allocs)
+	}
+}

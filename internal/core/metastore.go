@@ -132,6 +132,21 @@ type MetaStore struct {
 	lruTail  *cacheEnt
 	capacity int
 
+	// memo is a one-slot MRU memo in front of the red-black-tree lookup:
+	// consecutive Gets of entries sharing a meta page (the paper's batching
+	// locality, the common case on the write path) skip the tree walk
+	// entirely. Invariant: memo, when non-nil, is the LRU head. Memo hits
+	// count as cache hits and emit the same event, so telemetry is
+	// unaffected by the memo layer.
+	memo *cacheEnt
+
+	// freeEnts recycles evicted cacheEnts (linked through next) and
+	// entryPool recycles open-superblock Entry buffers, so steady-state GC
+	// churn stops allocating. sealBufs are Seal's reusable output pages.
+	freeEnts  *cacheEnt
+	entryPool [][]Entry
+	sealBufs  [][]byte
+
 	stats MetaStats
 
 	// rec, when non-nil, receives cache hit/miss/evict events stamped with
@@ -222,13 +237,26 @@ func (m *MetaStore) Get(ppn nand.PPN) (Entry, error) {
 	return DecodeEntry(page[idx:]), nil
 }
 
+// metaPage returns the cached contents of a meta page. The returned slice is
+// owned by the cache and only valid until the entry is evicted or dropped;
+// callers decode out of it immediately.
 func (m *MetaStore) metaPage(mppn nand.PPN) ([]byte, error) {
+	if ent := m.memo; ent != nil && ent.mppn == mppn {
+		// Same bookkeeping as a tree hit; the memo is the LRU head, so no
+		// LRU movement is needed.
+		m.stats.CacheHits++
+		if m.rec != nil {
+			m.emit(obs.KindMetaCacheHit, mppn)
+		}
+		return ent.buf, nil
+	}
 	if ent, ok := m.cache.Get(mppn); ok {
 		m.stats.CacheHits++
 		if m.rec != nil {
 			m.emit(obs.KindMetaCacheHit, mppn)
 		}
 		m.lruTouch(ent)
+		m.memo = ent
 		return ent.buf, nil
 	}
 	m.stats.CacheMisses++
@@ -239,14 +267,33 @@ func (m *MetaStore) metaPage(mppn nand.PPN) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: meta page read %d: %w", mppn, err)
 	}
-	buf := append([]byte(nil), data...) // copy out of device memory
-	ent := &cacheEnt{mppn: mppn, buf: buf}
+	ent := m.freeEnts
+	if ent != nil {
+		m.freeEnts = ent.next
+		ent.next = nil
+		ent.mppn = mppn
+	} else {
+		ent = &cacheEnt{mppn: mppn}
+	}
+	ent.buf = append(ent.buf[:0], data...) // copy out of device memory
 	m.cache.Put(mppn, ent)
 	m.lruPush(ent)
+	m.memo = ent
 	for m.cache.Len() > m.capacity {
 		m.evictLRU()
 	}
-	return buf, nil
+	return ent.buf, nil
+}
+
+// releaseEnt returns a cacheEnt (already unlinked from LRU and tree) to the
+// freelist, keeping its buffer capacity for the next miss.
+func (m *MetaStore) releaseEnt(e *cacheEnt) {
+	if m.memo == e {
+		m.memo = nil
+	}
+	e.prev = nil
+	e.next = m.freeEnts
+	m.freeEnts = e
 }
 
 func (m *MetaStore) lruPush(e *cacheEnt) {
@@ -293,6 +340,7 @@ func (m *MetaStore) evictLRU() {
 	if m.rec != nil {
 		m.emit(obs.KindMetaCacheEvict, victim.mppn)
 	}
+	m.releaseEnt(victim)
 }
 
 // Put records the metadata entry for a data page just programmed at ppn in
@@ -301,20 +349,37 @@ func (m *MetaStore) Put(ppn nand.PPN, e Entry) {
 	sb := m.geo.SuperblockOf(ppn)
 	buf, ok := m.openBufs[sb]
 	if !ok {
-		buf = make([]Entry, m.dataPages)
+		if n := len(m.entryPool); n > 0 {
+			buf = m.entryPool[n-1]
+			m.entryPool = m.entryPool[:n-1]
+			clear(buf)
+		} else {
+			buf = make([]Entry, m.dataPages)
+		}
 		m.openBufs[sb] = buf
 	}
 	buf[m.geo.SuperblockOffset(ppn)] = e
 }
 
 // Seal serializes an open superblock's buffered entries into its tail meta
-// pages and releases the RAM buffer. The FTL programs the returned buffers.
+// pages and releases the RAM buffer. The returned buffers are owned by the
+// store and reused on the next Seal call: the FTL programs them immediately
+// (the device copies page payloads), so nothing downstream retains them.
 func (m *MetaStore) Seal(sb int) [][]byte {
 	buf := m.openBufs[sb]
-	delete(m.openBufs, sb)
-	pages := make([][]byte, m.metaPages)
+	if buf != nil {
+		delete(m.openBufs, sb)
+		m.entryPool = append(m.entryPool, buf)
+	}
+	if m.sealBufs == nil {
+		m.sealBufs = make([][]byte, m.metaPages)
+		for p := range m.sealBufs {
+			m.sealBufs[p] = make([]byte, m.entriesPerPage*EntrySize)
+		}
+	}
+	pages := m.sealBufs
 	for p := range pages {
-		page := make([]byte, m.entriesPerPage*EntrySize)
+		page := pages[p]
 		for i := 0; i < m.entriesPerPage; i++ {
 			off := p*m.entriesPerPage + i
 			var e Entry
@@ -323,7 +388,6 @@ func (m *MetaStore) Seal(sb int) [][]byte {
 			}
 			EncodeEntry(page[i*EntrySize:i*EntrySize:(i+1)*EntrySize], e)
 		}
-		pages[p] = page
 	}
 	return pages
 }
@@ -331,12 +395,16 @@ func (m *MetaStore) Seal(sb int) [][]byte {
 // DropSB invalidates cached meta pages of an erased superblock: their MPPNs
 // are about to be reused with fresh contents.
 func (m *MetaStore) DropSB(sb int) {
-	delete(m.openBufs, sb)
+	if buf, ok := m.openBufs[sb]; ok {
+		delete(m.openBufs, sb)
+		m.entryPool = append(m.entryPool, buf)
+	}
 	for p := 0; p < m.metaPages; p++ {
 		mppn := m.geo.SuperblockPPN(sb, m.dataPages+p)
 		if ent, ok := m.cache.Get(mppn); ok {
 			m.lruUnlink(ent)
 			m.cache.Delete(mppn)
+			m.releaseEnt(ent)
 		}
 	}
 }

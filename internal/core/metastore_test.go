@@ -123,13 +123,15 @@ func TestMetaStoreOpenBufferAndSeal(t *testing.T) {
 		t.Errorf("open hits = %d", ms.Stats().OpenHits)
 	}
 
-	// Seal: entries now live in meta pages.
+	// Seal: entries now live in meta pages. Seal's buffers are reused on
+	// the next call, so the fake flash (which retains them, unlike the FTL,
+	// which programs immediately) must copy.
 	pages := ms.Seal(3)
 	if len(pages) != meta {
 		t.Fatalf("sealed %d pages, want %d", len(pages), meta)
 	}
 	for i, buf := range pages {
-		rd.pages[geo.SuperblockPPN(3, data+i)] = buf
+		rd.pages[geo.SuperblockPPN(3, data+i)] = append([]byte(nil), buf...)
 	}
 	// First access misses (flash read), subsequent entries in the same meta
 	// page hit the cache — the paper's batching locality.
@@ -185,7 +187,7 @@ func TestMetaStoreLRUEviction(t *testing.T) {
 	for sb := 0; sb < 6; sb++ {
 		ms.Put(geo.SuperblockPPN(sb, 0), Entry{LastWrite: uint32(sb + 1)})
 		for i, buf := range ms.Seal(sb) {
-			rd.pages[geo.SuperblockPPN(sb, data+i)] = buf
+			rd.pages[geo.SuperblockPPN(sb, data+i)] = append([]byte(nil), buf...)
 		}
 	}
 	for sb := 0; sb < 6; sb++ {
@@ -221,7 +223,7 @@ func TestMetaStoreDropSB(t *testing.T) {
 	ms := NewMetaStore(geo, data, meta, epp, 0.5, rd)
 	ms.Put(geo.SuperblockPPN(2, 0), Entry{LastWrite: 7})
 	for i, buf := range ms.Seal(2) {
-		rd.pages[geo.SuperblockPPN(2, data+i)] = buf
+		rd.pages[geo.SuperblockPPN(2, data+i)] = append([]byte(nil), buf...)
 	}
 	if _, err := ms.Get(geo.SuperblockPPN(2, 0)); err != nil {
 		t.Fatal(err)

@@ -133,7 +133,22 @@ type PHFTL struct {
 	lifetimes    []float64
 	examples     []example
 	examplesSeen int
-	windowLPNs   map[uint32]struct{}
+
+	// Window membership as an epoch-marked array instead of a map: LPN lpn
+	// was written in the current window iff windowSeen[lpn] == windowEpoch.
+	// windowLPNs lists them in insertion order (sorted at window end). Both
+	// reuse their storage across windows, keeping the per-write bookkeeping
+	// allocation-free.
+	windowSeen  []uint64
+	windowEpoch uint64
+	windowLPNs  []uint32
+
+	// seqPool recycles the [][]float64 training-sequence snapshots (one
+	// SeqLen×InputDim buffer each) between examples, so window retraining
+	// stops churning the GC. Sequences are returned to the pool when their
+	// example is dropped by the reservoir and at the end of each window,
+	// strictly after training and threshold probing are done with them.
+	seqPool [][][]float64
 
 	threshold   float64
 	trainedOnce bool
@@ -215,7 +230,8 @@ func New(geo nand.Geometry, exportedPages int, opts Options) (*PHFTL, error) {
 		hostLast:    make([]uint32, exportedPages),
 		windowSize:  windowSize,
 		windowStart: 1,
-		windowLPNs:  make(map[uint32]struct{}),
+		windowSeen:  make([]uint64, exportedPages),
+		windowEpoch: 1,
 		pred:        make([]uint8, exportedPages),
 		predThresh:  make([]float64, exportedPages),
 		rng:         rng,
@@ -327,23 +343,53 @@ func (r *featureRing) append(x []float64, seqLen int) {
 	r.n++
 }
 
-// snapshot returns the ring's vectors oldest-first (copies).
-func (r *featureRing) snapshot(seqLen, dim int) [][]float64 {
-	if r.n == 0 {
-		return nil
-	}
+// snapshotInto copies the ring's vectors oldest-first into dst, whose header
+// must hold seqLen rows of dim values each, and returns dst truncated to the
+// copied count. The caller owns dst (see PHFTL.getSeq/putSeq).
+func (r *featureRing) snapshotInto(dst [][]float64, seqLen, dim int) [][]float64 {
 	count := r.n
 	if count > seqLen {
 		count = seqLen
 	}
-	out := make([][]float64, count)
 	for i := 0; i < count; i++ {
 		idx := (r.n - count + i) % seqLen
-		v := make([]float64, dim)
-		copy(v, r.buf[idx*dim:(idx+1)*dim])
-		out[i] = v
+		copy(dst[i], r.buf[idx*dim:(idx+1)*dim])
 	}
-	return out
+	return dst[:count]
+}
+
+// snapshotSeq returns a pooled copy of an LPN's feature history (nil when the
+// page has none). Ownership passes to the example it lands in; putSeq returns
+// it to the pool once the window is done with it.
+func (p *PHFTL) snapshotSeq(lpn uint32) [][]float64 {
+	r := &p.rings[lpn]
+	if r.n == 0 {
+		return nil
+	}
+	return r.snapshotInto(p.getSeq(), p.opts.SeqLen, InputDim)
+}
+
+func (p *PHFTL) getSeq() [][]float64 {
+	if n := len(p.seqPool); n > 0 {
+		s := p.seqPool[n-1]
+		p.seqPool[n-1] = nil
+		p.seqPool = p.seqPool[:n-1]
+		return s
+	}
+	seqLen := p.opts.SeqLen
+	flat := make([]float64, seqLen*InputDim)
+	s := make([][]float64, seqLen)
+	for i := range s {
+		s[i] = flat[i*InputDim : (i+1)*InputDim]
+	}
+	return s
+}
+
+func (p *PHFTL) putSeq(s [][]float64) {
+	if cap(s) != p.opts.SeqLen {
+		return
+	}
+	p.seqPool = append(p.seqPool, s[:p.opts.SeqLen])
 }
 
 // PlaceUserWrite implements ftl.Separator: this is PHFTL's per-write path —
@@ -376,7 +422,7 @@ func (p *PHFTL) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) {
 			p.lifetimes = append(p.lifetimes, life)
 		}
 		p.addExample(example{
-			seq:      p.rings[lpn].snapshot(p.opts.SeqLen, InputDim),
+			seq:      p.snapshotSeq(lpn),
 			lifetime: life,
 		})
 	}
@@ -390,13 +436,14 @@ func (p *PHFTL) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) {
 	// so such pages cold-start from the zero state, exactly matching the
 	// training distribution (training sequences start at h = 0). Pages
 	// updated faster than the window always keep a fresh state.
-	hPrev := ml.DequantizeHidden(entry.Hidden[:p.deployed.StateSize()], p.hScratch)
+	stateSize := p.deployed.StateSize()
+	h := ml.DequantizeHidden(entry.Hidden[:stateSize], p.hScratch)
 	if p.opts.SeqLen == 1 || uint64(entry.LastWrite) <= p.deployClock {
-		for i := range hPrev {
-			hPrev[i] = 0
+		for i := range h {
+			h[i] = 0
 		}
 	}
-	cls, hNew := p.deployed.PredictFrom(hPrev, x)
+	cls := p.deployed.PredictInto(h, x, h)
 	short := cls == 1
 	if p.trainedOnce {
 		p.stats.Predictions++
@@ -412,8 +459,7 @@ func (p *PHFTL) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) {
 	}
 
 	newEntry := Entry{LastWrite: uint32(now)}
-	q := ml.QuantizeHidden(hNew)
-	copy(newEntry.Hidden[:], q)
+	ml.QuantizeHidden(h, newEntry.Hidden[:stateSize])
 	p.pendingEntry = newEntry
 	p.pendingValid = true
 	p.oobBuf = EncodeEntry(p.oobBuf, newEntry)
@@ -421,7 +467,10 @@ func (p *PHFTL) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) {
 	// Host bookkeeping after feature extraction (features describe history).
 	p.rings[lpn].append(x, p.opts.SeqLen)
 	p.hostLast[lpn] = uint32(now)
-	p.windowLPNs[lpn] = struct{}{}
+	if p.windowSeen[lpn] != p.windowEpoch {
+		p.windowSeen[lpn] = p.windowEpoch
+		p.windowLPNs = append(p.windowLPNs, lpn)
+	}
 	p.feat.NoteWrite(w.LPN)
 
 	p.windowWrites++
@@ -480,7 +529,10 @@ func (p *PHFTL) addExample(ex example) {
 	}
 	// Reservoir sampling keeps a uniform subset of the window's examples.
 	if j := p.rng.Intn(p.examplesSeen); j < len(p.examples) {
+		p.putSeq(p.examples[j].seq)
 		p.examples[j] = ex
+	} else {
+		p.putSeq(ex.seq)
 	}
 }
 
@@ -490,14 +542,11 @@ func (p *PHFTL) endWindow(now uint64) {
 	p.stats.Windows++
 
 	// Censored examples: pages written in the window and not overwritten.
-	// Iterate in sorted LPN order — map order would make training (and so
-	// the whole run) non-deterministic.
-	lpns := make([]uint32, 0, len(p.windowLPNs))
-	for lpn := range p.windowLPNs {
-		lpns = append(lpns, lpn)
-	}
-	slices.Sort(lpns)
-	for _, lpn := range lpns {
+	// Iterate in sorted LPN order — insertion order would make training
+	// depend on write order in ways the map-based predecessor of this code
+	// avoided by sorting, so keep sorting.
+	slices.Sort(p.windowLPNs)
+	for _, lpn := range p.windowLPNs {
 		hl := uint64(p.hostLast[lpn])
 		if hl < p.windowStart {
 			continue
@@ -507,7 +556,7 @@ func (p *PHFTL) endWindow(now uint64) {
 			continue
 		}
 		p.addExample(example{
-			seq:      p.rings[lpn].snapshot(p.opts.SeqLen, InputDim),
+			seq:      p.snapshotSeq(lpn),
 			lifetime: elapsed,
 			censored: true,
 		})
@@ -593,9 +642,16 @@ func (p *PHFTL) endWindow(now uint64) {
 	p.windowStart = now + 1
 	p.windowWrites = 0
 	p.lifetimes = p.lifetimes[:0]
+	// Training and probing are done: every surviving example's sequence can
+	// go back to the pool for the next window.
+	for i := range p.examples {
+		p.putSeq(p.examples[i].seq)
+		p.examples[i].seq = nil
+	}
 	p.examples = p.examples[:0]
 	p.examplesSeen = 0
-	clear(p.windowLPNs)
+	p.windowLPNs = p.windowLPNs[:0]
+	p.windowEpoch++
 	p.feat.Decay()
 }
 

@@ -301,13 +301,20 @@ func TestFeatureRing(t *testing.T) {
 	var r featureRing
 	dim := 2
 	mk := func(v float64) []float64 { return []float64{v, v + 0.5} }
-	if got := r.snapshot(3, dim); got != nil {
-		t.Errorf("empty snapshot = %v", got)
+	newDst := func() [][]float64 {
+		dst := make([][]float64, 3)
+		for i := range dst {
+			dst[i] = make([]float64, dim)
+		}
+		return dst
+	}
+	if r.n != 0 {
+		t.Fatalf("fresh ring n = %d", r.n)
 	}
 	for i := 1; i <= 5; i++ {
 		r.append(mk(float64(i)), 3)
 	}
-	snap := r.snapshot(3, dim)
+	snap := r.snapshotInto(newDst(), 3, dim)
 	if len(snap) != 3 {
 		t.Fatalf("len = %d", len(snap))
 	}
@@ -319,8 +326,15 @@ func TestFeatureRing(t *testing.T) {
 	}
 	// Snapshot is a copy.
 	snap[0][0] = 999
-	if again := r.snapshot(3, dim); again[0][0] == 999 {
+	if again := r.snapshotInto(newDst(), 3, dim); again[0][0] == 999 {
 		t.Error("snapshot aliases ring storage")
+	}
+	// Partially filled rings truncate the destination.
+	var r2 featureRing
+	r2.append(mk(1), 3)
+	r2.append(mk(2), 3)
+	if got := r2.snapshotInto(newDst(), 3, dim); len(got) != 2 || got[0][0] != 1 || got[1][0] != 2 {
+		t.Errorf("partial snapshot = %v", got)
 	}
 }
 

@@ -124,6 +124,12 @@ type FTL struct {
 	clock uint64 // virtual time: user pages written
 	stats Stats
 
+	// vidx buckets closed superblocks by invalid-page count; victimMode
+	// picks the selector implementation (see victimindex.go). The index is
+	// maintained in every mode.
+	vidx       victimIndex
+	victimMode VictimSelectorMode
+
 	// rec, when non-nil, receives structured trace events (superblock
 	// lifecycle, GC, write stalls). Every emit is guarded by a nil check so
 	// the disabled path costs one predictable branch.
@@ -186,6 +192,7 @@ func NewWithDevice(cfg Config, dev *nand.Device, sep Separator, policy VictimPol
 	for i := range f.l2p {
 		f.l2p[i] = nand.InvalidPPN
 	}
+	f.vidx.init(geo.Superblocks(), dataPages)
 	// Safety floor: one GC pass can open a destination superblock per
 	// stream before the victim's erase lands, so this many superblocks must
 	// always stay free or allocation deadlocks.
@@ -325,6 +332,9 @@ func (f *FTL) closeIfFull(stream int) error {
 	sb.state = SBClosed
 	sb.closeClock = f.clock
 	f.open[stream] = -1
+	// Pages can be invalidated while the superblock is still open, so it
+	// enters the victim index at its current invalid count, not zero.
+	f.vidx.insert(sbID, f.dataPages-sb.valid)
 	if f.rec != nil {
 		f.rec.Record(obs.Event{
 			Kind: obs.KindSBClose, Clock: f.clock,
@@ -370,7 +380,12 @@ func (f *FTL) invalidateOld(lpn nand.LPN) {
 		// here indicates simulator state corruption.
 		panic(fmt.Sprintf("ftl: invalidate %d: %v", old, err))
 	}
-	f.sbs[f.cfg.Geometry.SuperblockOf(old)].valid--
+	sbID := f.cfg.Geometry.SuperblockOf(old)
+	sb := &f.sbs[sbID]
+	sb.valid--
+	if sb.state == SBClosed {
+		f.vidx.bump(sbID)
+	}
 }
 
 // Read performs one page-granularity host read. It returns ErrUnmapped for
@@ -464,8 +479,28 @@ func (f *FTL) maybeGC() error {
 
 // selectVictim returns the closed superblock with the highest policy score,
 // or -1 when no closed superblock has any invalid page (GC would make no
-// progress).
+// progress). Ties are broken toward the lowest superblock ID; every selector
+// implementation must preserve that guarantee so traces stay reproducible.
 func (f *FTL) selectVictim() int {
+	switch f.victimMode {
+	case VictimScan:
+		return f.selectVictimScan()
+	case VictimCrossCheck:
+		s := f.selectVictimScan()
+		i := f.selectVictimIndexed()
+		if s != i {
+			panic(fmt.Sprintf("ftl: victim selector divergence at clock %d: scan=%d indexed=%d", f.clock, s, i))
+		}
+		return s
+	default:
+		return f.selectVictimIndexed()
+	}
+}
+
+// selectVictimScan is the reference selector: a full scan over all
+// superblocks in ascending ID order with a strict score comparison, which
+// realizes the lowest-ID tie-break implicitly.
+func (f *FTL) selectVictimScan() int {
 	best := -1
 	bestScore := math.Inf(-1)
 	for id := range f.sbs {
@@ -498,6 +533,9 @@ func (f *FTL) selectVictim() int {
 func (f *FTL) collect(victim int) error {
 	geo := f.cfg.Geometry
 	sb := &f.sbs[victim]
+	// The victim leaves the index before migration: its valid count decays
+	// page by page below, and it re-enters only when it closes again.
+	f.vidx.remove(victim)
 	class := sb.gcClass + 1
 	if class > f.cfg.MaxGCClass {
 		class = f.cfg.MaxGCClass
@@ -641,5 +679,5 @@ func (f *FTL) CheckInvariants() error {
 			return fmt.Errorf("ftl: superblock %d valid count %d, l2p says %d", id, sb.valid, validBySB[id])
 		}
 	}
-	return nil
+	return f.checkVictimIndex()
 }

@@ -63,7 +63,9 @@ type Separator interface {
 
 	// MetaPages is called when a superblock's data region fills, before the
 	// superblock closes. It must return exactly Config.MetaPagesPerSB
-	// buffers, programmed into the superblock's tail pages.
+	// buffers, programmed into the superblock's tail pages. The FTL copies
+	// the buffers while programming and never retains them, so schemes may
+	// reuse them across calls.
 	MetaPages(sb int) [][]byte
 
 	// OnSuperblockErased is called after GC erases a superblock, so schemes

@@ -1,0 +1,223 @@
+package ftl
+
+import (
+	"fmt"
+	"math"
+)
+
+// VictimSelectorMode selects the implementation behind selectVictim.
+type VictimSelectorMode uint8
+
+const (
+	// VictimIndexed (the default) selects victims from the incremental
+	// invalid-count bucket index, evaluating the policy only over the top
+	// bucket(s) that can still beat the best score found so far.
+	VictimIndexed VictimSelectorMode = iota
+	// VictimScan selects victims with the original full scan over all
+	// superblocks. Kept as the reference implementation.
+	VictimScan
+	// VictimCrossCheck runs both selectors on every GC decision and panics
+	// if they disagree. Differential tests use it; never enable in
+	// benchmarks.
+	VictimCrossCheck
+)
+
+// SetVictimSelectorMode switches the victim-selection implementation. The
+// bucket index is maintained in every mode, so the mode can change at any
+// point in a run.
+func (f *FTL) SetVictimSelectorMode(m VictimSelectorMode) { f.victimMode = m }
+
+// VictimScoreBound is an optional extension of VictimPolicy. MaxScore returns
+// an upper bound on Score over every closed superblock with the given invalid
+// count; the indexed selector descends buckets from most-invalid downward and
+// stops as soon as a bucket's bound falls below the best score already found.
+// Policies whose score is not bounded by the invalid count (e.g. Cost-Benefit,
+// which grows with age) simply don't implement it, and the indexed selector
+// evaluates every bucket.
+type VictimScoreBound interface {
+	MaxScore(invalid, dataPages int) float64
+}
+
+// MaxScore implements VictimScoreBound: the greedy score is exactly
+// invalid/dataPages, so the bound is tight and selection terminates after the
+// top non-empty bucket.
+func (GreedyPolicy) MaxScore(invalid, dataPages int) float64 {
+	return float64(invalid) / float64(dataPages)
+}
+
+// MaxScore implements VictimScoreBound. The adjusted-greedy score is the
+// invalid proportion shrunk by a discount divisor clamped at 1, so it never
+// exceeds invalid/dataPages — except that a fully-invalid short-living
+// superblock scores +Inf.
+func (p *AdjustedGreedyPolicy) MaxScore(invalid, dataPages int) float64 {
+	if invalid == dataPages {
+		return math.Inf(1)
+	}
+	return float64(invalid) / float64(dataPages)
+}
+
+// victimIndex buckets closed superblocks by invalid-page count so victim
+// selection touches only candidates that can win, instead of scanning every
+// superblock on each GC trigger. Each bucket is an intrusive doubly-linked
+// list threaded through the parallel next/prev arrays (no per-node
+// allocations); bucketOf doubles as the membership flag (-1 = not indexed).
+//
+// Lifecycle hooks in the FTL keep it exact:
+//   - closeIfFull inserts the superblock at its current invalid count
+//     (pages may already have been invalidated while it was open);
+//   - invalidateOld / Trim move a closed superblock up one bucket;
+//   - collect removes the victim before migrating (its valid count decays
+//     during migration while it is out of the index).
+//
+// maxInv is a lazy upper bound on the highest non-empty bucket: inserts raise
+// it eagerly, removals leave it stale, and selection walks it down past empty
+// buckets (amortized O(1) — each decrement undoes one insert's raise).
+type victimIndex struct {
+	next, prev []int32 // per-superblock list links, -1 = end
+	bucketOf   []int32 // per-superblock current bucket, -1 = not in index
+	heads      []int32 // invalid count -> first superblock in bucket, -1 = empty
+	maxInv     int
+}
+
+func (vi *victimIndex) init(superblocks, dataPages int) {
+	vi.next = make([]int32, superblocks)
+	vi.prev = make([]int32, superblocks)
+	vi.bucketOf = make([]int32, superblocks)
+	vi.heads = make([]int32, dataPages+1)
+	for i := range vi.next {
+		vi.next[i] = -1
+		vi.prev[i] = -1
+		vi.bucketOf[i] = -1
+	}
+	for i := range vi.heads {
+		vi.heads[i] = -1
+	}
+	vi.maxInv = 0
+}
+
+// insert adds a superblock to the bucket for its invalid count. The caller
+// guarantees it is not already indexed.
+func (vi *victimIndex) insert(id, inv int) {
+	head := vi.heads[inv]
+	vi.next[id] = head
+	vi.prev[id] = -1
+	if head >= 0 {
+		vi.prev[head] = int32(id)
+	}
+	vi.heads[inv] = int32(id)
+	vi.bucketOf[id] = int32(inv)
+	if inv > vi.maxInv {
+		vi.maxInv = inv
+	}
+}
+
+// remove unlinks a superblock from its bucket. No-op if not indexed.
+func (vi *victimIndex) remove(id int) {
+	b := vi.bucketOf[id]
+	if b < 0 {
+		return
+	}
+	n, p := vi.next[id], vi.prev[id]
+	if p >= 0 {
+		vi.next[p] = n
+	} else {
+		vi.heads[b] = n
+	}
+	if n >= 0 {
+		vi.prev[n] = p
+	}
+	vi.next[id] = -1
+	vi.prev[id] = -1
+	vi.bucketOf[id] = -1
+}
+
+// bump moves an indexed superblock up one bucket after one of its pages was
+// invalidated.
+func (vi *victimIndex) bump(id int) {
+	b := vi.bucketOf[id]
+	vi.remove(id)
+	vi.insert(id, int(b)+1)
+}
+
+// top returns the highest non-empty bucket, walking the lazy bound down.
+func (vi *victimIndex) top() int {
+	for vi.maxInv > 0 && vi.heads[vi.maxInv] < 0 {
+		vi.maxInv--
+	}
+	return vi.maxInv
+}
+
+// selectVictimIndexed is the indexed victim selector. It visits buckets from
+// most-invalid downward and applies the same winner rule as the reference
+// scan — highest score, ties broken by lowest superblock ID — which the scan
+// realizes implicitly by iterating IDs in ascending order with a strict
+// comparison. When the policy provides a score bound, descent stops at the
+// first bucket whose bound cannot beat the incumbent (a bound equal to the
+// best score still gets scanned: a tie with a lower ID wins).
+func (f *FTL) selectVictimIndexed() int {
+	vi := &f.vidx
+	best := -1
+	bestScore := math.Inf(-1)
+	bound, hasBound := f.policy.(VictimScoreBound)
+	for b := vi.top(); b >= 1; b-- {
+		head := vi.heads[b]
+		if head < 0 {
+			continue
+		}
+		if hasBound && bound.MaxScore(b, f.dataPages) < bestScore {
+			break
+		}
+		for id := head; id >= 0; id = vi.next[id] {
+			sb := &f.sbs[id]
+			view := SBView{
+				ID:         int(id),
+				Stream:     sb.stream,
+				GCClass:    sb.gcClass,
+				Valid:      sb.valid,
+				Invalid:    b,
+				DataPages:  f.dataPages,
+				CloseClock: sb.closeClock,
+			}
+			score := f.policy.Score(view, f.clock)
+			if score > bestScore || (score == bestScore && int(id) < best) {
+				bestScore = score
+				best = int(id)
+			}
+		}
+	}
+	return best
+}
+
+// checkVictimIndex validates the bucket index against superblock state:
+// closed superblocks appear in exactly the bucket matching their invalid
+// count, nothing else is indexed, and the intrusive lists are well-linked.
+func (f *FTL) checkVictimIndex() error {
+	vi := &f.vidx
+	for id := range f.sbs {
+		sb := &f.sbs[id]
+		b := vi.bucketOf[id]
+		if sb.state != SBClosed {
+			if b >= 0 {
+				return fmt.Errorf("ftl: victim index holds superblock %d in state %d", id, sb.state)
+			}
+			continue
+		}
+		want := int32(f.dataPages - sb.valid)
+		if b != want {
+			return fmt.Errorf("ftl: victim index has superblock %d in bucket %d, invalid count is %d", id, b, want)
+		}
+	}
+	for inv, head := range vi.heads {
+		prev := int32(-1)
+		for id := head; id >= 0; id = vi.next[id] {
+			if vi.bucketOf[id] != int32(inv) {
+				return fmt.Errorf("ftl: superblock %d linked in bucket %d but records bucket %d", id, inv, vi.bucketOf[id])
+			}
+			if vi.prev[id] != prev {
+				return fmt.Errorf("ftl: superblock %d in bucket %d has prev %d, want %d", id, inv, vi.prev[id], prev)
+			}
+			prev = id
+		}
+	}
+	return nil
+}

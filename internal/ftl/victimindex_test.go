@@ -1,0 +1,215 @@
+package ftl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/obs"
+)
+
+// victimRecorder captures the sequence of GC victims an FTL collects.
+type victimRecorder struct {
+	victims []int32
+}
+
+func (r *victimRecorder) Record(ev obs.Event) {
+	if ev.Kind == obs.KindGCStart {
+		r.victims = append(r.victims, ev.SB)
+	}
+}
+
+// diffProfile is one workload shape for the scan-vs-indexed differential.
+type diffProfile struct {
+	name  string
+	write func(f *FTL, rng *rand.Rand) error
+}
+
+func diffProfiles() []diffProfile {
+	return []diffProfile{
+		{name: "uniform", write: func(f *FTL, rng *rand.Rand) error {
+			return f.Write(UserWrite{LPN: nand.LPN(rng.Intn(f.ExportedPages())), ReqPages: 1})
+		}},
+		// 90% of writes hit the hottest 10% of LPNs; a sliver of trims mixed
+		// in exercises the invalidate path outside Write.
+		{name: "hotcold", write: func(f *FTL, rng *rand.Rand) error {
+			var lpn nand.LPN
+			if rng.Intn(10) < 9 {
+				lpn = nand.LPN(rng.Intn(f.ExportedPages() / 10))
+			} else {
+				lpn = nand.LPN(rng.Intn(f.ExportedPages()))
+			}
+			if rng.Intn(64) == 0 {
+				return f.Trim(lpn)
+			}
+			return f.Write(UserWrite{LPN: lpn, ReqPages: 1})
+		}},
+	}
+}
+
+func diffPolicies() []struct {
+	name string
+	make func() VictimPolicy
+} {
+	return []struct {
+		name string
+		make func() VictimPolicy
+	}{
+		{"greedy", func() VictimPolicy { return GreedyPolicy{} }},
+		{"adjusted", func() VictimPolicy {
+			return &AdjustedGreedyPolicy{
+				Thresh:        FixedThreshold(4000),
+				IsShortStream: func(stream int) bool { return stream == 0 },
+			}
+		}},
+		// No score bound: exercises the indexed selector's full-descent path.
+		{"costbenefit", func() VictimPolicy { return CostBenefitPolicy{} }},
+	}
+}
+
+// runVictimProfile fills the drive and applies overwrites under the given
+// mode, returning the victim sequence and final stats.
+func runVictimProfile(t *testing.T, p diffProfile, policy VictimPolicy, mode VictimSelectorMode) ([]int32, Stats) {
+	t.Helper()
+	cfg := DefaultConfig(smallGeo())
+	// hotColdSeparator (ftl_test.go) sends LPNs below split to stream 0 —
+	// the "short-living" stream AdjustedGreedy discounts.
+	f, err := New(cfg, &hotColdSeparator{split: 1}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sep.(*hotColdSeparator).split = nand.LPN(f.ExportedPages() / 10)
+	f.SetVictimSelectorMode(mode)
+	rec := &victimRecorder{}
+	f.SetRecorder(rec)
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatalf("fill lpn %d: %v", lpn, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4*f.ExportedPages(); i++ {
+		if err := p.write(f, rng); err != nil {
+			t.Fatalf("%s op %d: %v", p.name, i, err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("%s invariants: %v", p.name, err)
+	}
+	return rec.victims, f.Stats()
+}
+
+// TestVictimSelectorDifferential drives the scan and indexed selectors over
+// the same workloads and requires byte-identical victim sequences and final
+// statistics — the guarantee that lets wabench results stay reproducible
+// across the selector swap. CrossCheck mode additionally panics inside the
+// FTL on the first divergent selection, pinpointing the clock if the two
+// ever disagree.
+func TestVictimSelectorDifferential(t *testing.T) {
+	for _, p := range diffProfiles() {
+		for _, pol := range diffPolicies() {
+			t.Run(p.name+"/"+pol.name, func(t *testing.T) {
+				scanV, scanS := runVictimProfile(t, p, pol.make(), VictimScan)
+				idxV, idxS := runVictimProfile(t, p, pol.make(), VictimIndexed)
+				crossV, crossS := runVictimProfile(t, p, pol.make(), VictimCrossCheck)
+				if len(scanV) == 0 {
+					t.Fatal("workload triggered no GC; differential is vacuous")
+				}
+				if !reflect.DeepEqual(scanV, idxV) {
+					n := len(scanV)
+					if len(idxV) < n {
+						n = len(idxV)
+					}
+					for i := 0; i < n; i++ {
+						if scanV[i] != idxV[i] {
+							t.Fatalf("victim %d diverges: scan=%d indexed=%d", i, scanV[i], idxV[i])
+						}
+					}
+					t.Fatalf("victim count diverges: scan=%d indexed=%d", len(scanV), len(idxV))
+				}
+				if scanS != idxS {
+					t.Errorf("stats diverge:\nscan:    %+v\nindexed: %+v", scanS, idxS)
+				}
+				if !reflect.DeepEqual(scanV, crossV) || scanS != crossS {
+					t.Error("cross-check mode diverges from scan")
+				}
+			})
+		}
+	}
+}
+
+// TestVictimIndexMaintenance checks the incremental index against ground
+// truth after randomized open/close/invalidate/collect churn (CheckInvariants
+// includes checkVictimIndex).
+func TestVictimIndexMaintenance(t *testing.T) {
+	f := newBaseFTL(t)
+	rng := rand.New(rand.NewSource(3))
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*f.ExportedPages(); i++ {
+		lpn := nand.LPN(rng.Intn(f.ExportedPages()))
+		if rng.Intn(32) == 0 {
+			if err := f.Trim(lpn); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := f.Write(UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if i%1024 == 0 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectVictim(b *testing.B) {
+	build := func(b *testing.B, mode VictimSelectorMode) *FTL {
+		b.Helper()
+		cfg := DefaultConfig(smallGeo())
+		f, err := New(cfg, NewBaseSeparator(), GreedyPolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.SetVictimSelectorMode(mode)
+		for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+			if err := f.Write(UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 2*f.ExportedPages(); i++ {
+			if err := f.Write(UserWrite{LPN: nand.LPN(rng.Intn(f.ExportedPages())), ReqPages: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return f
+	}
+	b.Run("scan", func(b *testing.B) {
+		f := build(b, VictimScan)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.selectVictim() < 0 {
+				b.Fatal("no victim")
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		f := build(b, VictimIndexed)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f.selectVictim() < 0 {
+				b.Fatal("no victim")
+			}
+		}
+	})
+}

@@ -26,6 +26,22 @@ type GRUNet struct {
 	Wr, Ur, Br *Tensor
 	Wc, Uc, Bc *Tensor
 	Wout, Bout *Tensor
+
+	// Per-instance inference scratch, sized lazily: Step, Logits and
+	// PredictInto reuse these so the steady-state prediction path performs
+	// zero heap allocations (the §III-C hot path runs once per host write).
+	// Not shared across goroutines — a network is single-owner, like its
+	// gradients.
+	scrZ, scrR, scrC, scrRH, scrLogits []float64
+
+	// Training scratch: forward reuses one stepTrace arena across samples
+	// and backward ping-pongs two dhPrev buffers, so a training epoch stops
+	// allocating per sample. Values are unchanged — only buffer reuse.
+	trArena            []stepTrace
+	zeroState          []float64 // all-zero initial hidden state; never written
+	bwA, bwB           []float64
+	daZ, daR, daC, drh []float64
+	dhScratch          []float64
 }
 
 // NumClassesDefault is the binary short-living / long-living output of the
@@ -83,41 +99,49 @@ type stepTrace struct {
 // hidden state cached per page, a prediction costs exactly one Step plus one
 // Logits call, regardless of how long the page's history is.
 func (n *GRUNet) Step(hPrev, x, hOut []float64) {
-	h := n.Hidden
-	z := make([]float64, h)
-	r := make([]float64, h)
-	c := make([]float64, h)
-	n.stepInto(hPrev, x, z, r, c, hOut)
+	n.ensureScratch()
+	n.stepInto(hPrev, x, n.scrZ, n.scrR, n.scrC, n.scrRH, hOut)
 }
 
-func (n *GRUNet) stepInto(hPrev, x, z, r, c, hOut []float64) {
-	matVec(n.Wz, x, z)
-	matVecAdd(n.Uz, hPrev, z)
-	matVec(n.Wr, x, r)
-	matVecAdd(n.Ur, hPrev, r)
+func (n *GRUNet) ensureScratch() {
+	if len(n.scrZ) != n.Hidden {
+		n.scrZ = make([]float64, n.Hidden)
+		n.scrR = make([]float64, n.Hidden)
+		n.scrC = make([]float64, n.Hidden)
+		n.scrRH = make([]float64, n.Hidden)
+	}
+	if len(n.scrLogits) != n.NumClasses {
+		n.scrLogits = make([]float64, n.NumClasses)
+	}
+}
+
+// stepInto is the allocation-free core of Step: all intermediates (z, r, c,
+// rh) are caller-owned. The gate loops are fused — z, r and r⊙h are produced
+// in one pass — and hOut may alias hPrev (hPrev[i] is read only before
+// hOut[i] is written).
+func (n *GRUNet) stepInto(hPrev, x, z, r, c, rh, hOut []float64) {
+	matVec2(n.Wz, n.Wr, n.Uz, n.Ur, x, hPrev, z, r)
 	for i := range z {
 		z[i] = sigmoid(z[i] + n.Bz.Data[i])
 		r[i] = sigmoid(r[i] + n.Br.Data[i])
-	}
-	rh := make([]float64, n.Hidden)
-	for i := range rh {
 		rh[i] = r[i] * hPrev[i]
 	}
-	matVec(n.Wc, x, c)
-	matVecAdd(n.Uc, rh, c)
+	matVecPair(n.Wc, n.Uc, x, rh, c)
 	for i := range c {
-		c[i] = tanh(c[i] + n.Bc.Data[i])
-	}
-	for i := range c {
-		hOut[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
+		ci := tanh(c[i] + n.Bc.Data[i])
+		c[i] = ci
+		hOut[i] = (1-z[i])*hPrev[i] + z[i]*ci
 	}
 }
 
 func tanh(v float64) float64 { return math.Tanh(v) }
 
-// Logits applies the fully connected output layer to a hidden state.
+// Logits applies the fully connected output layer to a hidden state. The
+// returned slice is network-owned scratch, overwritten by the next Logits
+// call on this network: use it before the next call, or copy it.
 func (n *GRUNet) Logits(h []float64) []float64 {
-	out := make([]float64, n.NumClasses)
+	n.ensureScratch()
+	out := n.scrLogits
 	matVec(n.Wout, h, out)
 	for i := range out {
 		out[i] += n.Bout.Data[i]
@@ -139,8 +163,16 @@ func (n *GRUNet) Predict(seq [][]float64) int {
 // returns (class, new hidden state).
 func (n *GRUNet) PredictFrom(hPrev, x []float64) (int, []float64) {
 	h := make([]float64, n.Hidden)
-	n.Step(hPrev, x, h)
-	return Argmax(n.Logits(h)), h
+	cls := n.PredictInto(hPrev, x, h)
+	return cls, h
+}
+
+// PredictInto is the allocation-free incremental prediction: one Step from
+// statePrev writing the new state into stateOut (which may alias statePrev),
+// returning the argmax class. This is the device-side per-write hot path.
+func (n *GRUNet) PredictInto(statePrev, x, stateOut []float64) int {
+	n.Step(statePrev, x, stateOut)
+	return Argmax(n.Logits(stateOut))
 }
 
 // Argmax returns the index of the largest element.
@@ -155,47 +187,54 @@ func Argmax(v []float64) int {
 }
 
 // forward runs a sequence keeping per-step traces for BPTT and returns the
-// traces and the final hidden state.
+// traces and the final hidden state. Traces live in a per-network arena that
+// the next forward call overwrites; backward must consume them first (which
+// AccumulateGradients does).
 func (n *GRUNet) forward(seq [][]float64) ([]stepTrace, []float64) {
-	h := make([]float64, n.Hidden)
-	traces := make([]stepTrace, 0, len(seq))
-	for _, x := range seq {
-		tr := stepTrace{
-			x:     x,
-			hPrev: append([]float64(nil), h...),
-			z:     make([]float64, n.Hidden),
-			r:     make([]float64, n.Hidden),
-			c:     make([]float64, n.Hidden),
-			h:     make([]float64, n.Hidden),
-		}
-		n.stepInto(tr.hPrev, x, tr.z, tr.r, tr.c, tr.h)
-		tr.rh = make([]float64, n.Hidden)
-		for i := range tr.rh {
-			tr.rh[i] = tr.r[i] * tr.hPrev[i]
-		}
+	H := n.Hidden
+	if len(n.zeroState) != H {
+		n.zeroState = make([]float64, H)
+	}
+	for len(n.trArena) < len(seq) {
+		n.trArena = append(n.trArena, stepTrace{
+			hPrev: make([]float64, H),
+			z:     make([]float64, H),
+			r:     make([]float64, H),
+			c:     make([]float64, H),
+			h:     make([]float64, H),
+			rh:    make([]float64, H),
+		})
+	}
+	traces := n.trArena[:len(seq)]
+	h := n.zeroState
+	for i, x := range seq {
+		tr := &traces[i]
+		tr.x = x
+		copy(tr.hPrev, h)
+		n.stepInto(tr.hPrev, x, tr.z, tr.r, tr.c, tr.rh, tr.h)
 		h = tr.h
-		traces = append(traces, tr)
 	}
 	return traces, h
 }
 
 // backward backpropagates dh (gradient w.r.t. the final hidden state)
-// through the recorded traces, accumulating parameter gradients.
+// through the recorded traces, accumulating parameter gradients. All
+// temporaries are per-network scratch; the caller's dh is only read.
 func (n *GRUNet) backward(traces []stepTrace, dh []float64) {
 	H := n.Hidden
-	daZ := make([]float64, H)
-	daR := make([]float64, H)
-	daC := make([]float64, H)
-	drh := make([]float64, H)
+	n.ensureTrainScratch()
+	daZ, daR, daC, drh := n.daZ, n.daR, n.daC, n.drh
+	// dhPrev buffers ping-pong: the target is always distinct from the
+	// current dh (which on the first step is the caller's slice).
+	spare, next := n.bwA, n.bwB
 	for t := len(traces) - 1; t >= 0; t-- {
 		tr := &traces[t]
-		dhPrev := make([]float64, H)
+		dhPrev := spare
 		for i := 0; i < H; i++ {
-			z, r, c := tr.z[i], tr.r[i], tr.c[i]
+			z, c := tr.z[i], tr.c[i]
 			daC[i] = dh[i] * z * (1 - c*c)
 			daZ[i] = dh[i] * (c - tr.hPrev[i]) * z * (1 - z)
 			dhPrev[i] = dh[i] * (1 - z)
-			_ = r
 		}
 		outerAddGrad(n.Wc, daC, tr.x)
 		outerAddGrad(n.Uc, daC, tr.rh)
@@ -209,15 +248,26 @@ func (n *GRUNet) backward(traces []stepTrace, dh []float64) {
 			dhPrev[i] += drh[i] * r
 			daR[i] = drh[i] * tr.hPrev[i] * r * (1 - r)
 		}
-		outerAddGrad(n.Wz, daZ, tr.x)
-		outerAddGrad(n.Uz, daZ, tr.hPrev)
+		outerAddGrad2(n.Wz, n.Wr, daZ, daR, tr.x)
+		outerAddGrad2(n.Uz, n.Ur, daZ, daR, tr.hPrev)
 		addGrad(n.Bz, daZ)
-		outerAddGrad(n.Wr, daR, tr.x)
-		outerAddGrad(n.Ur, daR, tr.hPrev)
 		addGrad(n.Br, daR)
 		matTVecAdd(n.Uz, daZ, dhPrev)
 		matTVecAdd(n.Ur, daR, dhPrev)
 		dh = dhPrev
+		spare, next = next, spare
+	}
+}
+
+func (n *GRUNet) ensureTrainScratch() {
+	if len(n.daZ) != n.Hidden {
+		n.daZ = make([]float64, n.Hidden)
+		n.daR = make([]float64, n.Hidden)
+		n.daC = make([]float64, n.Hidden)
+		n.drh = make([]float64, n.Hidden)
+		n.bwA = make([]float64, n.Hidden)
+		n.bwB = make([]float64, n.Hidden)
+		n.dhScratch = make([]float64, n.Hidden)
 	}
 }
 
@@ -252,7 +302,11 @@ func (n *GRUNet) AccumulateGradients(seq [][]float64, label int) float64 {
 	loss, dLogits := SoftmaxCrossEntropy(logits, label)
 	outerAddGrad(n.Wout, dLogits, h)
 	addGrad(n.Bout, dLogits)
-	dh := make([]float64, n.Hidden)
+	n.ensureTrainScratch()
+	dh := n.dhScratch
+	for i := range dh {
+		dh[i] = 0
+	}
 	matTVecAdd(n.Wout, dLogits, dh)
 	n.backward(traces, dh)
 	return loss

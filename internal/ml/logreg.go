@@ -17,6 +17,7 @@ func NewLogReg(dim int) *LogReg { return &LogReg{W: make([]float64, dim)} }
 // Prob returns P(label=1 | x).
 func (m *LogReg) Prob(x []float64) float64 {
 	s := m.B
+	x = x[:len(m.W)]
 	for i, w := range m.W {
 		s += w * x[i]
 	}
@@ -47,10 +48,13 @@ func (m *LogReg) Train(features [][]float64, labels []int, epochs int, lr float6
 			x := features[idx]
 			y := float64(labels[idx])
 			err := m.Prob(x) - y
-			for i := range m.W {
-				m.W[i] -= lr * err * x[i]
+			le := lr * err
+			w := m.W
+			x = x[:len(w)]
+			for i := range w {
+				w[i] -= le * x[i]
 			}
-			m.B -= lr * err
+			m.B -= le
 		}
 	}
 }

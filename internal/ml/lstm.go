@@ -26,6 +26,11 @@ type LSTMNet struct {
 	Wo, Uo, Bo *Tensor
 	Wg, Ug, Bg *Tensor
 	Wout, Bout *Tensor
+
+	// Per-instance inference scratch (see GRUNet): StepState, LogitsFromState
+	// and PredictInto reuse these, making steady-state prediction
+	// allocation-free. Single-owner, like the gradients.
+	scrI, scrF, scrO, scrG, scrLogits []float64
 }
 
 // NewLSTMNet builds a randomly initialized network.
@@ -146,16 +151,56 @@ func (n *LSTMNet) stepTraced(hPrev, cPrev, x []float64) lstmTrace {
 }
 
 // StepState implements SequenceModel: statePrev/stateOut are [h ‖ c].
+// stateOut may alias statePrev; no heap allocations in steady state.
 func (n *LSTMNet) StepState(statePrev, x, stateOut []float64) {
+	n.ensureScratch()
 	H := n.Hidden
-	tr := n.stepTraced(statePrev[:H], statePrev[H:2*H], x)
-	copy(stateOut[:H], tr.h)
-	copy(stateOut[H:2*H], tr.c)
+	hPrev, cPrev := statePrev[:H], statePrev[H:2*H]
+	i, f, o, g := n.scrI, n.scrF, n.scrO, n.scrG
+	matVec(n.Wi, x, i)
+	matVecAdd(n.Ui, hPrev, i)
+	matVec(n.Wf, x, f)
+	matVecAdd(n.Uf, hPrev, f)
+	matVec(n.Wo, x, o)
+	matVecAdd(n.Uo, hPrev, o)
+	matVec(n.Wg, x, g)
+	matVecAdd(n.Ug, hPrev, g)
+	// Same math (and the same ±0.999 cell clamp) as stepTraced; hPrev is
+	// fully consumed by the matVecAdds above and cPrev[k] is read before
+	// stateOut[H+k] is written, so in-place stepping is safe.
+	for k := 0; k < H; k++ {
+		ik := sigmoid(i[k] + n.Bi.Data[k])
+		fk := sigmoid(f[k] + n.Bf.Data[k])
+		ok := sigmoid(o[k] + n.Bo.Data[k])
+		gk := tanh(g[k] + n.Bg.Data[k])
+		ck := fk*cPrev[k] + ik*gk
+		if ck > 0.999 {
+			ck = 0.999
+		} else if ck < -0.999 {
+			ck = -0.999
+		}
+		stateOut[k] = ok * tanh(ck)
+		stateOut[H+k] = ck
+	}
 }
 
-// LogitsFromState implements SequenceModel.
+func (n *LSTMNet) ensureScratch() {
+	if len(n.scrI) != n.Hidden {
+		n.scrI = make([]float64, n.Hidden)
+		n.scrF = make([]float64, n.Hidden)
+		n.scrO = make([]float64, n.Hidden)
+		n.scrG = make([]float64, n.Hidden)
+	}
+	if len(n.scrLogits) != n.NumClasses {
+		n.scrLogits = make([]float64, n.NumClasses)
+	}
+}
+
+// LogitsFromState implements SequenceModel. The returned slice is
+// network-owned scratch, overwritten by the next call on this network.
 func (n *LSTMNet) LogitsFromState(state []float64) []float64 {
-	out := make([]float64, n.NumClasses)
+	n.ensureScratch()
+	out := n.scrLogits
 	matVec(n.Wout, state[:n.Hidden], out)
 	for i := range out {
 		out[i] += n.Bout.Data[i]
@@ -166,8 +211,15 @@ func (n *LSTMNet) LogitsFromState(state []float64) []float64 {
 // PredictFrom implements SequenceModel.
 func (n *LSTMNet) PredictFrom(statePrev, x []float64) (int, []float64) {
 	state := make([]float64, 2*n.Hidden)
-	n.StepState(statePrev, x, state)
-	return Argmax(n.LogitsFromState(state)), state
+	cls := n.PredictInto(statePrev, x, state)
+	return cls, state
+}
+
+// PredictInto implements SequenceModel: one allocation-free step, stateOut
+// may alias statePrev.
+func (n *LSTMNet) PredictInto(statePrev, x, stateOut []float64) int {
+	n.StepState(statePrev, x, stateOut)
+	return Argmax(n.LogitsFromState(stateOut))
 }
 
 // Predict implements SequenceModel.

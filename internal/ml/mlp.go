@@ -13,6 +13,10 @@ type MLPNet struct {
 
 	W1, B1     *Tensor
 	Wout, Bout *Tensor
+
+	// Logits scratch (see GRUNet): LogitsFromState reuses this buffer so
+	// steady-state prediction is allocation-free. Single-owner.
+	scrLogits []float64
 }
 
 // NewMLPNet builds a randomly initialized network.
@@ -77,9 +81,13 @@ func (n *MLPNet) hiddenOf(x, out []float64) {
 // on x.
 func (n *MLPNet) StepState(_, x, stateOut []float64) { n.hiddenOf(x, stateOut) }
 
-// LogitsFromState implements SequenceModel.
+// LogitsFromState implements SequenceModel. The returned slice is
+// network-owned scratch, overwritten by the next call on this network.
 func (n *MLPNet) LogitsFromState(state []float64) []float64 {
-	out := make([]float64, n.NumClasses)
+	if len(n.scrLogits) != n.NumClasses {
+		n.scrLogits = make([]float64, n.NumClasses)
+	}
+	out := n.scrLogits
 	matVec(n.Wout, state, out)
 	for i := range out {
 		out[i] += n.Bout.Data[i]
@@ -90,8 +98,15 @@ func (n *MLPNet) LogitsFromState(state []float64) []float64 {
 // PredictFrom implements SequenceModel.
 func (n *MLPNet) PredictFrom(_, x []float64) (int, []float64) {
 	h := make([]float64, n.Hidden)
-	n.hiddenOf(x, h)
-	return Argmax(n.LogitsFromState(h)), h
+	cls := n.PredictInto(nil, x, h)
+	return cls, h
+}
+
+// PredictInto implements SequenceModel: stateless, so statePrev is ignored
+// and stateOut receives the hidden activation of x alone.
+func (n *MLPNet) PredictInto(_, x, stateOut []float64) int {
+	n.hiddenOf(x, stateOut)
+	return Argmax(n.LogitsFromState(stateOut))
 }
 
 // Predict implements SequenceModel: only the last feature vector matters.

@@ -19,13 +19,22 @@ type SequenceModel interface {
 	NumOutputs() int
 
 	// StepState advances the persistent state by one input, writing
-	// StateSize values into stateOut (which may alias statePrev).
+	// StateSize values into stateOut (which may alias statePrev). It must
+	// not heap-allocate in steady state.
 	StepState(statePrev, x, stateOut []float64)
-	// LogitsFromState computes class logits from a state.
+	// LogitsFromState computes class logits from a state. The returned
+	// slice is model-owned scratch, overwritten by the next call: use it
+	// before the next call, or copy it.
 	LogitsFromState(state []float64) []float64
 	// PredictFrom advances one step from a cached state and returns
-	// (argmax class, new state).
+	// (argmax class, new state). It allocates the returned state; the
+	// per-write hot path uses PredictInto instead.
 	PredictFrom(statePrev, x []float64) (int, []float64)
+	// PredictInto advances one step from statePrev, writing the new state
+	// into stateOut (which may alias statePrev), and returns the argmax
+	// class. It must not heap-allocate in steady state — this is the
+	// device-side per-write hot path (§III-C, 9 µs prediction budget).
+	PredictInto(statePrev, x, stateOut []float64) int
 	// Predict runs a whole sequence from the zero state.
 	Predict(seq [][]float64) int
 

@@ -52,9 +52,15 @@ func (n *GRUNet) Quantize() *GRUNet {
 }
 
 // QuantizeHidden packs a float hidden state into int8 (the 32-byte cached
-// state stored in flash metadata).
-func QuantizeHidden(h []float64) []int8 {
-	out := make([]int8, len(h))
+// state stored in flash metadata), writing into dst (allocating when dst is
+// nil or too short) and returning it. The hot path passes the metadata
+// entry's array directly so quantized deployment stays allocation-free.
+func QuantizeHidden(h []float64, dst []int8) []int8 {
+	out := dst
+	if len(out) < len(h) {
+		out = make([]int8, len(h))
+	}
+	out = out[:len(h)]
 	for i, v := range h {
 		q := math.Round(v * HiddenScale)
 		if q > 127 {

@@ -89,7 +89,7 @@ func TestQuantizedModelAgreesWithFloat(t *testing.T) {
 
 func TestHiddenQuantRoundTrip(t *testing.T) {
 	h := []float64{-0.999, -0.5, 0, 0.25, 0.999}
-	q := QuantizeHidden(h)
+	q := QuantizeHidden(h, nil)
 	if len(q) != len(h) {
 		t.Fatalf("len = %d", len(q))
 	}
@@ -100,15 +100,23 @@ func TestHiddenQuantRoundTrip(t *testing.T) {
 		}
 	}
 	// Out-of-range values clamp instead of wrapping.
-	q2 := QuantizeHidden([]float64{5, -5})
+	q2 := QuantizeHidden([]float64{5, -5}, nil)
 	if q2[0] != 127 || q2[1] != -127 {
 		t.Errorf("clamping failed: %v", q2)
 	}
-	// Reuse of destination slice.
+	// Reuse of destination slices.
 	dst := make([]float64, 8)
 	got := DequantizeHidden(q, dst)
 	if &got[0] != &dst[0] {
 		t.Error("DequantizeHidden did not reuse dst")
+	}
+	qdst := make([]int8, 8)
+	qgot := QuantizeHidden(h, qdst)
+	if &qgot[0] != &qdst[0] {
+		t.Error("QuantizeHidden did not reuse dst")
+	}
+	if len(qgot) != len(h) {
+		t.Errorf("QuantizeHidden reused-dst len = %d, want %d", len(qgot), len(h))
 	}
 }
 
@@ -121,7 +129,7 @@ func TestHiddenQuantRoundTripProperty(t *testing.T) {
 			}
 			h[i] = float64(v) / HiddenScale
 		}
-		back := DequantizeHidden(QuantizeHidden(h), nil)
+		back := DequantizeHidden(QuantizeHidden(h, nil), nil)
 		for i := range h {
 			if math.Abs(back[i]-h[i]) > 1e-12 {
 				return false

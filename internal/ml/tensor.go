@@ -65,10 +65,20 @@ func (t *Tensor) Clone() *Tensor {
 // String describes the tensor shape.
 func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols) }
 
+// The kernels below re-slice their vector operands to the exact loop extent
+// before the hot loops: the compiler's prove pass then eliminates the inner
+// bounds checks, which matters because training spends most of its time here.
+// Summation order within every dot product is strictly sequential and must
+// stay that way — reassociating (multiple accumulators, SIMD-style blocking)
+// would change rounding and break the simulator's determinism guarantees.
+
 // matVec computes out = W*x for W (m×n), x (n), out (m).
 func matVec(w *Tensor, x, out []float64) {
-	for r := 0; r < w.Rows; r++ {
-		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+	n := w.Cols
+	x = x[:n]
+	out = out[:w.Rows]
+	for r := range out {
+		row := w.Data[r*n : r*n+n]
 		sum := 0.0
 		for c, v := range row {
 			sum += v * x[c]
@@ -79,8 +89,11 @@ func matVec(w *Tensor, x, out []float64) {
 
 // matVecAdd computes out += W*x.
 func matVecAdd(w *Tensor, x, out []float64) {
-	for r := 0; r < w.Rows; r++ {
-		row := w.Data[r*w.Cols : (r+1)*w.Cols]
+	n := w.Cols
+	x = x[:n]
+	out = out[:w.Rows]
+	for r := range out {
+		row := w.Data[r*n : r*n+n]
 		sum := 0.0
 		for c, v := range row {
 			sum += v * x[c]
@@ -89,30 +102,214 @@ func matVecAdd(w *Tensor, x, out []float64) {
 	}
 }
 
-// matTVecAdd computes out += Wᵀ*g for W (m×n), g (m), out (n).
+// matVec2 interleaves two matVec+matVecAdd pairs sharing operand vectors:
+// out1 = w1·x + u1·h and out2 = w2·x + u2·h. Each dot product keeps its own
+// strictly sequential accumulation (bit-identical to running the four kernels
+// separately), but rows are processed in pairs, so the inner loops carry four
+// independent dependency chains — a serial FP-add chain is latency-bound, and
+// independent chains are the only way to overlap it without reassociating.
+// All four matrices are m×n over x and m×k over h.
+func matVec2(w1, w2, u1, u2 *Tensor, x, h, out1, out2 []float64) {
+	rows, n, k := w1.Rows, w1.Cols, u1.Cols
+	x = x[:n]
+	h = h[:k]
+	out1 = out1[:rows]
+	out2 = out2[:rows]
+	r := 0
+	for ; r+2 <= rows; r += 2 {
+		w1a := w1.Data[r*n : r*n+n]
+		w1b := w1.Data[(r+1)*n : (r+1)*n+n]
+		w2a := w2.Data[r*n : r*n+n]
+		w2b := w2.Data[(r+1)*n : (r+1)*n+n]
+		var s1a, s1b, s2a, s2b float64
+		for c, xc := range x {
+			s1a += w1a[c] * xc
+			s1b += w1b[c] * xc
+			s2a += w2a[c] * xc
+			s2b += w2b[c] * xc
+		}
+		u1a := u1.Data[r*k : r*k+k]
+		u1b := u1.Data[(r+1)*k : (r+1)*k+k]
+		u2a := u2.Data[r*k : r*k+k]
+		u2b := u2.Data[(r+1)*k : (r+1)*k+k]
+		var t1a, t1b, t2a, t2b float64
+		for c, hc := range h {
+			t1a += u1a[c] * hc
+			t1b += u1b[c] * hc
+			t2a += u2a[c] * hc
+			t2b += u2b[c] * hc
+		}
+		out1[r] = s1a + t1a
+		out1[r+1] = s1b + t1b
+		out2[r] = s2a + t2a
+		out2[r+1] = s2b + t2b
+	}
+	for ; r < rows; r++ {
+		w1row := w1.Data[r*n : r*n+n]
+		w2row := w2.Data[r*n : r*n+n]
+		var s1, s2 float64
+		for c, xc := range x {
+			s1 += w1row[c] * xc
+			s2 += w2row[c] * xc
+		}
+		u1row := u1.Data[r*k : r*k+k]
+		u2row := u2.Data[r*k : r*k+k]
+		var t1, t2 float64
+		for c, hc := range h {
+			t1 += u1row[c] * hc
+			t2 += u2row[c] * hc
+		}
+		out1[r] = s1 + t1
+		out2[r] = s2 + t2
+	}
+}
+
+// matVecPair computes out = w·x + u·h (one matVec + matVecAdd fused per
+// row, without the intermediate store/reload of out[r]); each dot product
+// keeps its sequential order, so the result is bit-identical to the two
+// separate calls. Rows are paired for two independent accumulation chains
+// per inner loop (see matVec2).
+func matVecPair(w, u *Tensor, x, h, out []float64) {
+	rows, n, k := w.Rows, w.Cols, u.Cols
+	x = x[:n]
+	h = h[:k]
+	out = out[:rows]
+	r := 0
+	for ; r+2 <= rows; r += 2 {
+		wa := w.Data[r*n : r*n+n]
+		wb := w.Data[(r+1)*n : (r+1)*n+n]
+		var sa, sb float64
+		for c, xc := range x {
+			sa += wa[c] * xc
+			sb += wb[c] * xc
+		}
+		ua := u.Data[r*k : r*k+k]
+		ub := u.Data[(r+1)*k : (r+1)*k+k]
+		var ta, tb float64
+		for c, hc := range h {
+			ta += ua[c] * hc
+			tb += ub[c] * hc
+		}
+		out[r] = sa + ta
+		out[r+1] = sb + tb
+	}
+	for ; r < rows; r++ {
+		wrow := w.Data[r*n : r*n+n]
+		sum := 0.0
+		for c, v := range wrow {
+			sum += v * x[c]
+		}
+		urow := u.Data[r*k : r*k+k]
+		t := 0.0
+		for c, v := range urow {
+			t += v * h[c]
+		}
+		out[r] = sum + t
+	}
+}
+
+// matTVecAdd computes out += Wᵀ*g for W (m×n), g (m), out (n). It iterates
+// column-major with four per-column accumulators held in registers: each
+// out[c] still receives its contributions in ascending row order starting
+// from its prior value — the same floating-point chain as the row-major
+// version, so results are bit-identical — but the four chains are
+// independent, letting the CPU overlap them instead of serializing on
+// store-to-load forwarding through out[c].
 func matTVecAdd(w *Tensor, g, out []float64) {
-	for r := 0; r < w.Rows; r++ {
-		row := w.Data[r*w.Cols : (r+1)*w.Cols]
-		gr := g[r]
-		if gr == 0 {
-			continue
+	n := w.Cols
+	g = g[:w.Rows]
+	out = out[:n]
+	data := w.Data
+	c := 0
+	for ; c+8 <= n; c += 8 {
+		s0, s1, s2, s3 := out[c], out[c+1], out[c+2], out[c+3]
+		s4, s5, s6, s7 := out[c+4], out[c+5], out[c+6], out[c+7]
+		for r, gr := range g {
+			if gr == 0 {
+				continue
+			}
+			row := data[r*n+c : r*n+c+8]
+			s0 += row[0] * gr
+			s1 += row[1] * gr
+			s2 += row[2] * gr
+			s3 += row[3] * gr
+			s4 += row[4] * gr
+			s5 += row[5] * gr
+			s6 += row[6] * gr
+			s7 += row[7] * gr
 		}
-		for c, v := range row {
-			out[c] += v * gr
+		out[c], out[c+1], out[c+2], out[c+3] = s0, s1, s2, s3
+		out[c+4], out[c+5], out[c+6], out[c+7] = s4, s5, s6, s7
+	}
+	for ; c+4 <= n; c += 4 {
+		s0, s1, s2, s3 := out[c], out[c+1], out[c+2], out[c+3]
+		for r, gr := range g {
+			if gr == 0 {
+				continue
+			}
+			row := data[r*n+c : r*n+c+4]
+			s0 += row[0] * gr
+			s1 += row[1] * gr
+			s2 += row[2] * gr
+			s3 += row[3] * gr
 		}
+		out[c], out[c+1], out[c+2], out[c+3] = s0, s1, s2, s3
+	}
+	for ; c < n; c++ {
+		s := out[c]
+		for r, gr := range g {
+			if gr == 0 {
+				continue
+			}
+			s += data[r*n+c] * gr
+		}
+		out[c] = s
 	}
 }
 
 // outerAddGrad accumulates W.Grad += g ⊗ x (g is m, x is n, W is m×n).
 func outerAddGrad(w *Tensor, g, x []float64) {
-	for r := 0; r < w.Rows; r++ {
-		gr := g[r]
+	n := w.Cols
+	g = g[:w.Rows]
+	x = x[:n]
+	for r, gr := range g {
 		if gr == 0 {
 			continue
 		}
-		grow := w.Grad[r*w.Cols : (r+1)*w.Cols]
+		grow := w.Grad[r*n : r*n+n]
 		for c := range grow {
 			grow[c] += gr * x[c]
+		}
+	}
+}
+
+// outerAddGrad2 fuses two outerAddGrad calls sharing x: W1.Grad += g1 ⊗ x and
+// W2.Grad += g2 ⊗ x. Element updates are independent, so fusing the row loops
+// is bit-identical to two separate calls (including the skip-zero-row
+// behaviour, preserved per matrix).
+func outerAddGrad2(w1, w2 *Tensor, g1, g2, x []float64) {
+	n := w1.Cols
+	g1 = g1[:w1.Rows]
+	g2 = g2[:w1.Rows]
+	x = x[:n]
+	for r, gr1 := range g1 {
+		gr2 := g2[r]
+		grow1 := w1.Grad[r*n : r*n+n]
+		grow2 := w2.Grad[r*n : r*n+n]
+		switch {
+		case gr1 != 0 && gr2 != 0:
+			for c := range grow1 {
+				grow1[c] += gr1 * x[c]
+				grow2[c] += gr2 * x[c]
+			}
+		case gr1 != 0:
+			for c := range grow1 {
+				grow1[c] += gr1 * x[c]
+			}
+		case gr2 != 0:
+			for c := range grow2 {
+				grow2[c] += gr2 * x[c]
+			}
 		}
 	}
 }

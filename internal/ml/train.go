@@ -132,7 +132,11 @@ func TrainEpochs(n *GRUNet, samples []Sample, opt *Adam, cfg TrainConfig) float6
 			total += loss
 			outerAddGrad(n.Wout, dLogits, h)
 			addGrad(n.Bout, dLogits)
-			dh := make([]float64, n.Hidden)
+			n.ensureTrainScratch()
+			dh := n.dhScratch
+			for i := range dh {
+				dh[i] = 0
+			}
 			matTVecAdd(n.Wout, dLogits, dh)
 			n.backward(traces, dh)
 			inBatch++

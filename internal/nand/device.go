@@ -201,16 +201,10 @@ func (d *Device) ProgramFull(p PPN, lpn LPN, data, oob []byte) error {
 	}
 	pageRef.state = PageValid
 	pageRef.lpn = lpn
-	if len(oob) > 0 {
-		pageRef.oob = append(pageRef.oob[:0], oob...)
-	} else {
-		pageRef.oob = nil
-	}
-	if len(data) > 0 {
-		pageRef.data = append(pageRef.data[:0], data...)
-	} else {
-		pageRef.data = nil
-	}
+	// Empty payloads truncate instead of nil-ing out, so the capacity a page
+	// accumulated in earlier program/erase cycles survives for the next one.
+	pageRef.oob = append(pageRef.oob[:0], oob...)
+	pageRef.data = append(pageRef.data[:0], data...)
 	b.writePtr = pg + 1
 	b.validCnt++
 	b.programed++
@@ -286,8 +280,15 @@ func (d *Device) EraseBlock(die, blk int) error {
 	if b.validCnt != 0 {
 		return fmt.Errorf("%w: die %d block %d has %d valid pages", ErrEraseValid, die, blk, b.validCnt)
 	}
+	// Reset page state but keep the oob/data buffer capacity: superblocks
+	// cycle through erase constantly under GC, and dropping the buffers
+	// here would make every re-program after an erase allocate afresh.
 	for i := range b.pages {
-		b.pages[i] = page{}
+		p := &b.pages[i]
+		p.state = PageFree
+		p.lpn = 0
+		p.oob = p.oob[:0]
+		p.data = p.data[:0]
 	}
 	b.writePtr = 0
 	b.programed = 0

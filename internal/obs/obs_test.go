@@ -124,7 +124,7 @@ func TestTraceRecorderRecordZeroAlloc(t *testing.T) {
 // with kind-specific field names in fixed order.
 const goldenJSONL = `{"ev":"gc_start","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"valid":25,"free_sb":9,"valid_ratio":0.25}
 {"ev":"gc_end","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"migrated":25,"free_sb":10,"valid_ratio":0.25}
-{"ev":"sample","run":"r1","clock":64,"interval_wa":0.125,"cum_wa":0.125,"free_sb":10,"threshold":500,"cache_hit":0.875,"queue_depth":0,"open_fill":[0.5,0]}
+{"ev":"sample","run":"r1","clock":64,"interval_wa":0.125,"cum_wa":0.125,"free_sb":10,"threshold":500,"cache_hit":0.875,"queue_depth":0,"lat_p50_ms":0.25,"lat_p99_ms":1.5,"open_fill":[0.5,0]}
 {"ev":"threshold_update","run":"r1","clock":100,"old":500,"new":620,"probe_accuracy":0.75,"direction":1,"step":5,"inflection_seed":0}
 {"ev":"window_retrain","run":"r1","clock":100,"examples":256,"deployed":1,"duration_ns":1500000,"loss":0.0625,"threshold":620}
 {"ev":"meta_cache_miss","run":"r1","clock":120,"mppn":4096}
@@ -141,7 +141,8 @@ func TestWriteJSONLGolden(t *testing.T) {
 		{Kind: KindWriteStall, Clock: 130, SB: -1, Stream: -1, GCClass: -1, A: 3, B: 0},
 	}
 	samples := []Sample{
-		{Clock: 64, IntervalWA: 0.125, CumWA: 0.125, FreeSB: 10, Threshold: 500, CacheHitRatio: 0.875, OpenFill: []float64{0.5, 0}},
+		{Clock: 64, IntervalWA: 0.125, CumWA: 0.125, FreeSB: 10, Threshold: 500, CacheHitRatio: 0.875,
+			LatencyP50MS: 0.25, LatencyP99MS: 1.5, OpenFill: []float64{0.5, 0}},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, "r1", events, samples); err != nil {
@@ -164,7 +165,8 @@ func TestWriteJSONLGolden(t *testing.T) {
 
 func TestWriteSamplesCSV(t *testing.T) {
 	samples := []Sample{
-		{Clock: 128, IntervalWA: 0.25, CumWA: 0.2, FreeSB: 12, Threshold: 800, CacheHitRatio: 0.99, QueueDepth: 2, OpenFill: []float64{1, 0.5, 0}},
+		{Clock: 128, IntervalWA: 0.25, CumWA: 0.2, FreeSB: 12, Threshold: 800, CacheHitRatio: 0.99, QueueDepth: 2,
+			LatencyP50MS: 0.5, LatencyP99MS: 2.125, OpenFill: []float64{1, 0.5, 0}},
 	}
 	var buf bytes.Buffer
 	if err := WriteSamplesCSV(&buf, samples); err != nil {
@@ -174,23 +176,27 @@ func TestWriteSamplesCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("got %d lines, want header + 1 row", len(lines))
 	}
-	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,open_fill_mean" {
+	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if lines[1] != "128,0.250000,0.200000,12,800.000,0.990000,2.00,0.5000" {
+	if lines[1] != "128,0.250000,0.200000,12,800.000,0.990000,2.00,0.500,2.125,0.5000" {
 		t.Errorf("row = %q", lines[1])
 	}
 }
 
-// A NaN CacheHitRatio marks schemes without a metadata cache: the JSONL
-// sink must omit the field (JSON cannot represent NaN, and 0 or 1 would
-// read as a real measurement) and the CSV sink must leave the cell empty.
-func TestSinksOmitNaNCacheHit(t *testing.T) {
+// A NaN CacheHitRatio marks schemes without a metadata cache, and NaN
+// latency percentiles mark functional (untimed) replays: the JSONL sink
+// must omit the fields (JSON cannot represent NaN, and 0 would read as a
+// real measurement) and the CSV sink must leave the cells empty.
+func TestSinksOmitNaNGauges(t *testing.T) {
 	s := Sample{Clock: 64, IntervalWA: 0.5, CumWA: 0.5, FreeSB: 8,
-		CacheHitRatio: math.NaN(), OpenFill: []float64{0.25}}
+		CacheHitRatio: math.NaN(), LatencyP50MS: math.NaN(), LatencyP99MS: math.NaN(),
+		OpenFill: []float64{0.25}}
 	line := string(AppendSampleJSON(nil, s, "r1"))
-	if strings.Contains(line, "cache_hit") {
-		t.Errorf("JSONL line carries cache_hit for NaN ratio: %s", line)
+	for _, field := range []string{"cache_hit", "lat_p50_ms", "lat_p99_ms"} {
+		if strings.Contains(line, field) {
+			t.Errorf("JSONL line carries %s for NaN gauge: %s", field, line)
+		}
 	}
 	var m map[string]any
 	if err := json.Unmarshal([]byte(line), &m); err != nil {
@@ -202,7 +208,7 @@ func TestSinksOmitNaNCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if want := "64,0.500000,0.500000,8,0.000,,0.00,0.2500"; lines[1] != want {
+	if want := "64,0.500000,0.500000,8,0.000,,0.00,,,0.2500"; lines[1] != want {
 		t.Errorf("CSV row = %q, want %q", lines[1], want)
 	}
 }

@@ -25,6 +25,13 @@ type Sample struct {
 	// QueueDepth is the busy-die count observed by the timing model at the
 	// last request (0 outside timing-model runs).
 	QueueDepth float64
+	// LatencyP50MS and LatencyP99MS are the P50/P99 write-request latencies
+	// in milliseconds over the interval since the previous sample, measured
+	// by the timing model. NaN marks functional replays (no timing model)
+	// and intervals without timed writes; the JSONL sink omits the fields
+	// and the CSV sink leaves them empty.
+	LatencyP50MS float64
+	LatencyP99MS float64
 }
 
 // SnapshotFunc produces one sample at the given virtual clock. The wiring

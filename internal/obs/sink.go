@@ -115,6 +115,12 @@ func AppendSampleJSON(dst []byte, s Sample, run string) []byte {
 		dst = appendKVF(dst, "cache_hit", s.CacheHitRatio)
 	}
 	dst = appendKVF(dst, "queue_depth", s.QueueDepth)
+	if !math.IsNaN(s.LatencyP50MS) {
+		dst = appendKVF(dst, "lat_p50_ms", s.LatencyP50MS)
+	}
+	if !math.IsNaN(s.LatencyP99MS) {
+		dst = appendKVF(dst, "lat_p99_ms", s.LatencyP99MS)
+	}
 	dst = append(dst, `,"open_fill":[`...)
 	for i, f := range s.OpenFill {
 		if i > 0 {
@@ -154,7 +160,7 @@ func WriteJSONL(w io.Writer, run string, events []Event, samples []Sample) error
 // fixed; the JSONL stream retains the full vector.
 func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,open_fill_mean"); err != nil {
+	if _, err := fmt.Fprintln(bw, "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean"); err != nil {
 		return err
 	}
 	for _, s := range samples {
@@ -169,9 +175,16 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 		if !math.IsNaN(s.CacheHitRatio) {
 			hit = fmt.Sprintf("%.6f", s.CacheHitRatio)
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.3f,%s,%.2f,%.4f\n",
+		p50, p99 := "", ""
+		if !math.IsNaN(s.LatencyP50MS) {
+			p50 = fmt.Sprintf("%.3f", s.LatencyP50MS)
+		}
+		if !math.IsNaN(s.LatencyP99MS) {
+			p99 = fmt.Sprintf("%.3f", s.LatencyP99MS)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.3f,%s,%.2f,%s,%s,%.4f\n",
 			s.Clock, s.IntervalWA, s.CumWA, s.FreeSB, s.Threshold,
-			hit, s.QueueDepth, fill); err != nil {
+			hit, s.QueueDepth, p50, p99, fill); err != nil {
 			return err
 		}
 	}

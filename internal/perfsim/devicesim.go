@@ -2,6 +2,7 @@ package perfsim
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/ftl"
@@ -38,6 +39,10 @@ type Machine struct {
 	rec         obs.Recorder
 	sampler     *obs.Sampler
 	lastArrival int64
+
+	// intervalLats accumulates write-request latencies (ms) since the last
+	// sample; the Observation's Latency hook drains it at each snapshot.
+	intervalLats []float64
 }
 
 // NewMachine builds a scheme over a hooked device. For SchemePHFTL the
@@ -67,7 +72,8 @@ func NewMachine(scheme sim.Scheme, geo nand.Geometry, t Timing, opts *core.Optio
 // Observe wires the machine into an instance observation (created with
 // sim.Observe on m.In): host writes delayed by busy dies emit
 // obs.KindWriteStall events, each request ticks the sampler, and samples
-// gain the busy-die count as their queue-depth gauge.
+// gain the busy-die count as their queue-depth gauge plus the interval's
+// P50/P99 write-request latencies.
 func (m *Machine) Observe(o *sim.Observation) {
 	m.rec = o.Rec
 	m.sampler = o.Sampler
@@ -79,6 +85,14 @@ func (m *Machine) Observe(o *sim.Observation) {
 			}
 		}
 		return float64(busy)
+	}
+	o.Latency = func() (p50, p99 float64) {
+		if len(m.intervalLats) == 0 {
+			return math.NaN(), math.NaN()
+		}
+		p := metrics.Percentiles(m.intervalLats, 50, 99)
+		m.intervalLats = m.intervalLats[:0]
+		return p[0], p[1]
 	}
 }
 
@@ -153,10 +167,14 @@ func (m *Machine) WriteRequest(arrivalNS int64, lpns []nand.LPN, seq bool) (int6
 			}
 		}
 	}
+	lat := hostFinish + m.timing.CompletionNS - arrivalNS
 	if m.sampler != nil {
+		// Record before Tick so a sample due at this clock includes this
+		// request in its interval.
+		m.intervalLats = append(m.intervalLats, float64(lat)/1e6)
 		m.sampler.Tick(m.In.FTL.Clock())
 	}
-	return hostFinish + m.timing.CompletionNS - arrivalNS, nil
+	return lat, nil
 }
 
 // ReadRequest runs one multi-page read arriving at arrivalNS.

@@ -144,6 +144,44 @@ func TestMachinePHFTLChargesPredictions(t *testing.T) {
 	}
 }
 
+// TestMachineSamplesCarryLatencyPercentiles checks the sampler wiring: a
+// timed run's samples must report per-interval P50/P99 write latency, the
+// accumulator must drain at each snapshot, and percentiles must be ordered.
+func TestMachineSamplesCarryLatencyPercentiles(t *testing.T) {
+	tm := DefaultTiming()
+	m, err := NewMachine(sim.SchemeBase, machineGeo(), tm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sim.Observe(m.In, sim.ObserveConfig{SampleEvery: 64})
+	m.Observe(o)
+	exported := m.In.FTL.ExportedPages()
+	arrival := int64(0)
+	for i := 0; i < 1024; i++ {
+		lat, err := m.WriteRequest(arrival, []nand.LPN{nand.LPN(i % exported)}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrival += lat
+	}
+	o.Finish(m.In.FTL.Clock())
+	samples := o.Sampler.Series()
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want >= 2", len(samples))
+	}
+	for i, s := range samples {
+		if math.IsNaN(s.LatencyP50MS) || math.IsNaN(s.LatencyP99MS) {
+			t.Fatalf("sample %d (clock %d) has NaN latency in a timed run", i, s.Clock)
+		}
+		if s.LatencyP50MS <= 0 || s.LatencyP99MS < s.LatencyP50MS {
+			t.Errorf("sample %d: p50 %v p99 %v not positive/ordered", i, s.LatencyP50MS, s.LatencyP99MS)
+		}
+	}
+	if len(m.intervalLats) != 0 {
+		t.Errorf("interval accumulator not drained: %d entries", len(m.intervalLats))
+	}
+}
+
 func TestMachineReadLatency(t *testing.T) {
 	tm := DefaultTiming()
 	m, err := NewMachine(sim.SchemeBase, machineGeo(), tm, nil)

@@ -25,8 +25,14 @@ type node[K cmp.Ordered, V any] struct {
 
 // Tree is a left-leaning red-black BST. The zero value is an empty tree
 // ready to use.
+//
+// Deleted nodes are kept on an internal freelist and recycled by Put, so a
+// tree cycling at a steady size (PHFTL's fixed-capacity metadata cache
+// evicting on every miss) stops allocating once it has warmed up. Recycled
+// nodes have key and value zeroed so deleted values are not retained.
 type Tree[K cmp.Ordered, V any] struct {
 	root *node[K, V]
+	free *node[K, V] // freelist of recycled nodes, linked through right
 }
 
 // New returns an empty tree.
@@ -75,6 +81,14 @@ func (t *Tree[K, V]) Put(key K, val V) {
 
 func (t *Tree[K, V]) put(n *node[K, V], key K, val V) *node[K, V] {
 	if n == nil {
+		if f := t.free; f != nil {
+			t.free = f.right
+			f.key, f.val = key, val
+			f.left, f.right = nil, nil
+			f.color = red
+			f.size = 1
+			return f
+		}
 		return &node[K, V]{key: key, val: val, color: red, size: 1}
 	}
 	switch {
@@ -175,6 +189,7 @@ func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 			h = rotateRight(h)
 		}
 		if key == h.key && h.right == nil {
+			t.release(h)
 			return nil
 		}
 		if !h.right.isRed() && h.right != nil && !h.right.left.isRed() {
@@ -184,7 +199,7 @@ func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 			m := minNode(h.right)
 			h.key = m.key
 			h.val = m.val
-			h.right = deleteMin(h.right)
+			h.right = t.deleteMin(h.right)
 		} else {
 			h.right = t.delete(h.right, key)
 		}
@@ -199,15 +214,27 @@ func minNode[K cmp.Ordered, V any](n *node[K, V]) *node[K, V] {
 	return n
 }
 
-func deleteMin[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+func (t *Tree[K, V]) deleteMin(h *node[K, V]) *node[K, V] {
 	if h.left == nil {
+		t.release(h)
 		return nil
 	}
 	if !h.left.isRed() && !h.left.left.isRed() {
 		h = moveRedLeft(h)
 	}
-	h.left = deleteMin(h.left)
+	h.left = t.deleteMin(h.left)
 	return fixUp(h)
+}
+
+// release pushes a detached node onto the freelist, dropping its key/value so
+// the tree does not retain deleted entries.
+func (t *Tree[K, V]) release(n *node[K, V]) {
+	var zeroK K
+	var zeroV V
+	n.key, n.val = zeroK, zeroV
+	n.left = nil
+	n.right = t.free
+	t.free = n
 }
 
 // Min returns the smallest key and its value. ok is false for an empty tree.

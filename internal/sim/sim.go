@@ -72,6 +72,12 @@ type Observation struct {
 	// QueueDepth, when non-nil, supplies the timing model's busy-die count
 	// to samples (set by perfsim.Machine.Observe).
 	QueueDepth func() float64
+
+	// Latency, when non-nil, supplies per-interval P50/P99 write-request
+	// latencies in milliseconds (set by perfsim.Machine.Observe). Each call
+	// drains the interval's accumulated latencies, so consecutive samples
+	// report disjoint intervals; NaN means no timed writes this interval.
+	Latency func() (p50, p99 float64)
 }
 
 // ObserveConfig sizes an Observation. Zero values select defaults.
@@ -110,6 +116,10 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 			// Baselines have no metadata cache; NaN marks the gauge as
 			// not-applicable (the sinks omit it) instead of a fake 100%.
 			CacheHitRatio: math.NaN(),
+			// Functional replays have no timing model; NaN keeps the
+			// latency fields out of the sinks (same convention as above).
+			LatencyP50MS: math.NaN(),
+			LatencyP99MS: math.NaN(),
 		}
 		prevUser, prevFlash = st.UserPageWrites, st.FlashPageWrites()
 		if in.PHFTL != nil {
@@ -118,6 +128,9 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 		}
 		if o.QueueDepth != nil {
 			s.QueueDepth = o.QueueDepth()
+		}
+		if o.Latency != nil {
+			s.LatencyP50MS, s.LatencyP99MS = o.Latency()
 		}
 		return s
 	})
