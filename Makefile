@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp smoke
+.PHONY: check vet build test race fmt bench benchcmp smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke
+check: vet build race fmt smoke golden-check
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,29 @@ race:
 smoke:
 	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52,#144" -parallel 2 \
 		-csv /tmp/wabench-smoke.csv -telemetry /tmp/wabench-smoke.jsonl
+
+## Golden-curve regression harness: checked-in per-cell sample CSVs
+## (the wabench -telemetry-csv format) for GOLDEN_TRACES × {Base,PHFTL} at
+## GOLDEN_DW drive writes. `golden-check` replays the same cells and diffs
+## the interval-WA/cum-WA/threshold/cache-hit curves point-by-point
+## (cmd/wadiff), so a GC or separator change that trades early-run WA for
+## late-run WA fails CI even when the end-of-run scalar looks fine.
+## Regenerate with `make golden` ONLY after an intentional behavioural
+## change, and commit the new baselines with the change that caused them.
+GOLDEN_TRACES := \#52,\#144,\#326
+GOLDEN_DW := 4
+GOLDEN_DIR := testdata/golden
+GOLDEN_TMP := /tmp/phftl-golden-check
+
+golden:
+	$(GO) run ./cmd/wabench -dw $(GOLDEN_DW) -traces "$(GOLDEN_TRACES)" \
+		-schemes "Base,PHFTL" -telemetry-csv $(GOLDEN_DIR)
+
+golden-check:
+	rm -rf $(GOLDEN_TMP)
+	$(GO) run ./cmd/wabench -dw $(GOLDEN_DW) -traces "$(GOLDEN_TRACES)" \
+		-schemes "Base,PHFTL" -telemetry-csv $(GOLDEN_TMP)
+	$(GO) run ./cmd/wadiff -q $(GOLDEN_DIR) $(GOLDEN_TMP)
 
 # gofmt -l prints offending files; grep inverts that into an exit status.
 fmt:

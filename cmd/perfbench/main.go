@@ -55,6 +55,7 @@ func main() {
 	pagesOverride := flag.Int("pages", 8192, "override drive size in pages (0 = profile default); timing replay is slower than WA-only replay")
 	iaPerPage := flag.Float64("iapp", 700, "phase-2 mean inter-arrival per written page, µs")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
+	ringCap := flag.Int("ring-cap", 0, "per-cell event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -121,7 +122,7 @@ func main() {
 			return runner.Output{}, err
 		}
 		if observe {
-			m.Observe(sim.Observe(m.In, sim.ObserveConfig{}))
+			m.Observe(sim.Observe(m.In, sim.ObserveConfig{RingCap: *ringCap}))
 		}
 		gen := p.NewGenerator()
 		load := gen.Records(*driveWrites * p.ExportedPages)
@@ -139,6 +140,7 @@ func main() {
 			m.In.Obs.Finish(m.In.FTL.Clock())
 			out.Events = m.In.Obs.Rec.Events()
 			out.Samples = m.In.Obs.Sampler.Series()
+			out.Dropped = m.In.Obs.Rec.Dropped()
 		}
 		return out, nil
 	}
@@ -150,6 +152,7 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 	}
+	runner.WarnDropped(os.Stderr, outs)
 
 	for i, p := range profiles {
 		fmt.Printf("=== trace %s (%s, %d pages) ===\n", p.ID, p.DriveClass, p.ExportedPages)

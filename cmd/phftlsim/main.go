@@ -42,6 +42,7 @@ func main() {
 	telemetry := flag.String("telemetry", "", "write trace events and samples as JSONL to this file")
 	telemetryCSV := flag.String("telemetry-csv", "", "also write the sample time series as CSV to this file")
 	sampleEvery := flag.Uint64("sample-every", 0, "sampling interval in user-page writes (0 = exported/64)")
+	ringCap := flag.Int("ring-cap", 0, "event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
 	report := flag.Bool("report", false, "print the observability report after the run")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -87,7 +88,7 @@ func main() {
 			fatal(err)
 		}
 		if observing {
-			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery})
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
 		}
 		res, err = sim.RunOn(in, p, *driveWrites)
 		if err != nil {
@@ -114,7 +115,7 @@ func main() {
 			fatal(err)
 		}
 		if observing {
-			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery})
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
 		}
 		ops := trace.Expand(records, *pageSize, in.FTL.ExportedPages())
 		if err = in.Replay(ops); err != nil {
@@ -141,6 +142,10 @@ func main() {
 	fmt.Printf("\n%s", runner.Summary(res, wear, lifetime))
 
 	if o := in.Obs; o != nil {
+		if d := o.Rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: event ring dropped %d of %d events (capacity %d); raise -ring-cap for a lossless trace\n",
+				d, o.Rec.Total(), o.Rec.Capacity())
+		}
 		if telemetryF != nil {
 			if err := obs.WriteJSONL(telemetryF, "", o.Rec.Events(), o.Sampler.Series()); err != nil {
 				telemetryF.Close()

@@ -12,12 +12,14 @@
 //
 //	wabench [-dw 20] [-traces "#52,#144"] [-schemes "Base,PHFTL"] [-parallel 8] [-csv out.csv]
 //	wabench -traces "#52" -telemetry out.jsonl -cpuprofile cpu.pb.gz
+//	wabench -dw 2 -traces "#52,#144" -schemes "Base,PHFTL" -telemetry-csv testdata/golden
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/phftl/phftl/internal/obs"
@@ -33,6 +35,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "trace×scheme cells to run concurrently (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
+	telemetryCSV := flag.String("telemetry-csv", "", "write each cell's sample time series as <trace>_<scheme>.csv into this directory (created if missing); the golden-curve harness consumes this format")
+	ringCap := flag.Int("ring-cap", 0, "per-cell event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -67,6 +71,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *telemetryCSV != "" {
+		if err := os.MkdirAll(*telemetryCSV, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	byID := make(map[string]workload.Profile, len(profiles))
 	cells := make([]runner.Cell, 0, len(profiles)*len(schemes))
@@ -76,7 +86,7 @@ func main() {
 			cells = append(cells, runner.Cell{Trace: p.ID, Scheme: s})
 		}
 	}
-	observe := telemetryF != nil
+	observe := telemetryF != nil || *telemetryCSV != ""
 	run := func(c runner.Cell) (runner.Output, error) {
 		p := byID[c.Trace]
 		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
@@ -85,7 +95,7 @@ func main() {
 			return runner.Output{}, err
 		}
 		if observe {
-			sim.Observe(in, sim.ObserveConfig{})
+			sim.Observe(in, sim.ObserveConfig{RingCap: *ringCap})
 		}
 		res, err := sim.RunOn(in, p, *driveWrites)
 		if err != nil {
@@ -95,6 +105,7 @@ func main() {
 		if observe {
 			out.Events = in.Obs.Rec.Events()
 			out.Samples = in.Obs.Sampler.Series()
+			out.Dropped = in.Obs.Rec.Dropped()
 		}
 		return out, nil
 	}
@@ -106,6 +117,7 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 	}
+	runner.WarnDropped(os.Stderr, outs)
 
 	fmt.Printf("Figure 5: write amplification (GC data writes), %d drive writes per trace\n", *driveWrites)
 	fmt.Println("note: WA columns exclude PHFTL's meta-page programs, whose share is inflated")
@@ -205,6 +217,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *telemetry)
+	}
+	if *telemetryCSV != "" {
+		wrote := 0
+		for _, out := range outs {
+			if out.Err != nil || len(out.Samples) == 0 {
+				continue
+			}
+			path := filepath.Join(*telemetryCSV, runner.CellCSVName(out.Cell))
+			f, err := os.Create(path)
+			if err == nil {
+				err = obs.WriteSamplesCSV(f, out.Samples)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			wrote++
+		}
+		fmt.Printf("wrote %d sample CSVs to %s\n", wrote, *telemetryCSV)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

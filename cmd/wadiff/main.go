@@ -1,0 +1,163 @@
+// Command wadiff diffs interval-WA sample curves (the cmd/wabench and
+// cmd/phftlsim -telemetry-csv format) against golden baselines: it aligns
+// the two series on the virtual clock and compares the behavioural columns
+// (interval_wa, cum_wa, threshold, cache_hit — see internal/golden for why
+// exactly these) point by point under per-column absolute+relative
+// tolerances, reporting the first divergence and the max deviation per
+// column.
+//
+// Usage:
+//
+//	wadiff golden.csv candidate.csv           compare two files
+//	wadiff testdata/golden /tmp/regen         compare directories pairwise
+//
+// In directory mode every *.csv in the golden directory is compared against
+// the file of the same name in the candidate directory; a file present on
+// only one side is a divergence (regenerate with `make golden` after an
+// intentional behavioural change).
+//
+// Exit status: 0 when every comparison is within tolerance, 1 on any
+// divergence (with a per-column report on stdout), 2 on usage or I/O
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/phftl/phftl/internal/golden"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	columns := flag.String("columns", strings.Join(golden.ComparedColumns, ","),
+		"comma-separated columns to compare")
+	absTol := flag.Float64("abs", -1, "absolute tolerance override for every column (<0 keeps the per-column default)")
+	relTol := flag.Float64("rel", -1, "relative tolerance override for every column (<0 keeps the per-column default)")
+	quiet := flag.Bool("q", false, "suppress per-comparison reports; only the exit status and the summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wadiff [flags] <golden.csv> <candidate.csv>\n"+
+				"       wadiff [flags] <goldenDir> <candidateDir>\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	goldenPath, candPath := flag.Arg(0), flag.Arg(1)
+
+	defaults := golden.DefaultTolerances()
+	tols := make(map[string]golden.Tolerance)
+	for _, c := range strings.Split(*columns, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		t, ok := defaults[c]
+		if !ok {
+			// A non-default column still gets the standard CSV-quantum
+			// tolerance unless overridden below.
+			t = golden.Tolerance{Abs: 1e-6, Rel: 1e-6}
+		}
+		if *absTol >= 0 {
+			t.Abs = *absTol
+		}
+		if *relTol >= 0 {
+			t.Rel = *relTol
+		}
+		tols[c] = t
+	}
+	if len(tols) == 0 {
+		fatal(fmt.Errorf("wadiff: -columns selected nothing to compare"))
+	}
+
+	gInfo, err := os.Stat(goldenPath)
+	if err != nil {
+		fatal(err)
+	}
+	pairs := [][2]string{{goldenPath, candPath}}
+	divergent := false
+	if gInfo.IsDir() {
+		cInfo, err := os.Stat(candPath)
+		if err != nil {
+			fatal(err)
+		}
+		if !cInfo.IsDir() {
+			fatal(fmt.Errorf("wadiff: %s is a directory but %s is not", goldenPath, candPath))
+		}
+		pairs, divergent = dirPairs(goldenPath, candPath)
+	}
+
+	compared := 0
+	for _, pair := range pairs {
+		rep, err := golden.CompareFiles(pair[0], pair[1], tols)
+		if err != nil {
+			fatal(err)
+		}
+		compared++
+		if rep.Divergent() {
+			divergent = true
+			fmt.Print(rep)
+		} else if !*quiet {
+			fmt.Printf("ok: %s vs %s (%d samples aligned)\n", pair[0], pair[1], rep.Aligned)
+		}
+	}
+	if divergent {
+		fmt.Printf("wadiff: DIVERGED (%d comparisons); regenerate baselines with `make golden` if the change is intentional\n", compared)
+		os.Exit(1)
+	}
+	fmt.Printf("wadiff: ok (%d comparisons within tolerance)\n", compared)
+}
+
+// dirPairs matches *.csv files between the two directories, reporting files
+// present on only one side as divergences.
+func dirPairs(goldenDir, candDir string) (pairs [][2]string, divergent bool) {
+	names := func(dir string) map[string]bool {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+		if err != nil {
+			fatal(err)
+		}
+		set := make(map[string]bool, len(matches))
+		for _, m := range matches {
+			set[filepath.Base(m)] = true
+		}
+		return set
+	}
+	g, c := names(goldenDir), names(candDir)
+	if len(g) == 0 {
+		fatal(fmt.Errorf("wadiff: no *.csv files in golden directory %s", goldenDir))
+	}
+	all := make([]string, 0, len(g))
+	for n := range g {
+		all = append(all, n)
+	}
+	for n := range c {
+		if !g[n] {
+			all = append(all, n)
+		}
+	}
+	sort.Strings(all)
+	for _, n := range all {
+		switch {
+		case g[n] && c[n]:
+			pairs = append(pairs, [2]string{filepath.Join(goldenDir, n), filepath.Join(candDir, n)})
+		case g[n]:
+			fmt.Printf("missing candidate curve: %s has no counterpart in %s\n", filepath.Join(goldenDir, n), candDir)
+			divergent = true
+		default:
+			fmt.Printf("unexpected candidate curve: %s has no golden baseline in %s (run `make golden`?)\n", filepath.Join(candDir, n), goldenDir)
+			divergent = true
+		}
+	}
+	return pairs, divergent
+}

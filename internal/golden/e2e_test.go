@@ -1,0 +1,104 @@
+package golden_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/golden"
+	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/sim"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+// runSeries replays dw drive writes of profile id on the instance and
+// returns the sample series round-tripped through the CSV sink — exactly
+// what a golden baseline file contains.
+func runSeries(t *testing.T, in *sim.Instance, id string, dw int) *golden.Series {
+	t.Helper()
+	p, ok := workload.ProfileByID(id)
+	if !ok {
+		t.Fatalf("unknown profile %s", id)
+	}
+	sim.Observe(in, sim.ObserveConfig{})
+	if _, err := sim.RunOn(in, p, dw); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteSamplesCSV(&buf, in.Obs.Sampler.Series()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := golden.ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildPHFTL(t *testing.T, id, policy string) *sim.Instance {
+	t.Helper()
+	p, _ := workload.ProfileByID(id)
+	geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+	in, err := sim.BuildPHFTLWithPolicy(geo, core.DefaultOptions(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// The harness's foundational property: a same-binary replay reproduces the
+// sample curve exactly, so comparing a fresh run against itself (two
+// independent instances, separate generators) yields zero divergence. If
+// this breaks, every golden baseline becomes noise.
+func TestSelfCompareZeroDiff(t *testing.T) {
+	const id, dw = "#223", 1
+	a := runSeries(t, buildPHFTL(t, id, "adjusted"), id, dw)
+	b := runSeries(t, buildPHFTL(t, id, "adjusted"), id, dw)
+	if a.Len() == 0 {
+		t.Fatal("no samples collected")
+	}
+	r := golden.Compare(a, b, nil)
+	if r.Divergent() {
+		t.Fatalf("two identical replays diverged — replay is not deterministic:\n%s", r)
+	}
+	for _, c := range r.Columns {
+		if c.Compared != a.Len() {
+			t.Errorf("column %s compared %d of %d samples", c.Column, c.Compared, a.Len())
+		}
+		if c.Max.Diff != 0 {
+			t.Errorf("column %s max |Δ| %g, want exact reproduction", c.Column, c.Max.Diff)
+		}
+	}
+}
+
+// Perturbing the GC victim policy (AdjustedGreedy → plain Greedy) changes
+// which superblocks are collected and therefore the interval-WA trajectory;
+// the differ must flag it with a first-divergence point even when end-of-run
+// scalars move little. This is the regression the golden harness exists to
+// catch. Several drive writes are needed: early in a run the spare pool is
+// still draining and both policies pick the same (fully- or near-fully
+// invalid) victims, so the WA curves only separate once steady-state GC
+// pressure forces genuinely different victim choices (#326 at 4 drive
+// writes is the smallest probed trace×depth where interval_wa itself
+// diverges, not just the metadata-cache trajectory).
+func TestGCPolicyPerturbationFlagged(t *testing.T) {
+	const id, dw = "#326", 4
+	base := runSeries(t, buildPHFTL(t, id, "adjusted"), id, dw)
+	pert := runSeries(t, buildPHFTL(t, id, "greedy"), id, dw)
+	r := golden.Compare(base, pert, nil)
+	if !r.Divergent() {
+		t.Fatalf("GC victim-policy perturbation was not flagged:\n%s", r)
+	}
+	byName := map[string]golden.ColumnReport{}
+	for _, c := range r.Columns {
+		byName[c.Column] = c
+	}
+	if iw := byName["interval_wa"]; iw.Violations == 0 {
+		t.Errorf("interval_wa curve did not diverge under a different victim policy:\n%s", r)
+	}
+	if first := r.FirstDivergence(); first == nil {
+		t.Error("no first-divergence point reported")
+	} else if first.Clock == 0 {
+		t.Errorf("first divergence at clock 0: %+v", first)
+	}
+}

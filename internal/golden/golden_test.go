@@ -1,0 +1,247 @@
+package golden
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const header = "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean\n"
+
+// csvOf builds a sample CSV from rows of raw CSV text (no clock ordering
+// changes, exactly as the sink would emit them).
+func csvOf(rows ...string) string {
+	return header + strings.Join(rows, "\n") + "\n"
+}
+
+func mustRead(t *testing.T, text string) *Series {
+	t.Helper()
+	s, err := ReadSeries(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReadSeries(t *testing.T) {
+	s := mustRead(t, csvOf(
+		"512,0.100000,0.050000,12,487.000000,0.960000,0.00,,,0.4000",
+		"1024,0.200000,0.100000,11,487.500000,,0.00,,,0.5000",
+	))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Clocks[0] != 512 || s.Clocks[1] != 1024 {
+		t.Errorf("Clocks = %v", s.Clocks)
+	}
+	if got := s.Column("interval_wa"); got[0] != 0.1 || got[1] != 0.2 {
+		t.Errorf("interval_wa = %v", got)
+	}
+	if got := s.Column("threshold"); got[1] != 487.5 {
+		t.Errorf("threshold = %v", got)
+	}
+	// Empty cells (cache_hit row 2, latency columns) parse as NaN.
+	if got := s.Column("cache_hit"); !math.IsNaN(got[1]) || got[0] != 0.96 {
+		t.Errorf("cache_hit = %v", got)
+	}
+	if got := s.Column("lat_p50_ms"); !math.IsNaN(got[0]) {
+		t.Errorf("lat_p50_ms = %v", got)
+	}
+	if s.Column("no_such_column") != nil {
+		t.Error("unknown column should be nil")
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"empty", "", "empty CSV"},
+		{"bad header", "time,interval_wa\n1,2\n", `first header column is "time"`},
+		{"duplicate column", "clock,wa,wa\n1,2,3\n", "duplicate column"},
+		{"non-ascending clock", "clock,x\n100,1\n100,2\n", "not ascending"},
+		{"bad clock", "clock,x\nabc,1\n", "bad clock"},
+		{"bad value", "clock,x\n1,zap\n", "bad value"},
+		{"field count", "clock,x\n1,2,3\n", ""}, // encoding/csv flags the record
+	}
+	for _, c := range cases {
+		_, err := ReadSeries(strings.NewReader(c.text))
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	text := csvOf(
+		"512,0.100000,0.050000,12,487.000000,0.960000,0.00,,,0.4000",
+		"1024,0.200000,0.100000,11,487.500000,0.970000,0.00,,,0.5000",
+	)
+	r := Compare(mustRead(t, text), mustRead(t, text), nil)
+	if r.Divergent() {
+		t.Fatalf("self-compare diverged:\n%s", r)
+	}
+	if r.Aligned != 2 || r.GoldenOnly != 0 || r.CandidateOnly != 0 {
+		t.Errorf("alignment: %+v", r)
+	}
+	if r.FirstDivergence() != nil {
+		t.Error("FirstDivergence on identical series")
+	}
+	for _, c := range r.Columns {
+		if c.Compared != 2 || c.Violations != 0 || c.Max.Diff != 0 {
+			t.Errorf("column %s: %+v", c.Column, c)
+		}
+	}
+}
+
+func TestCompareDivergence(t *testing.T) {
+	g := mustRead(t, csvOf(
+		"512,0.100000,0.050000,12,487.000000,0.960000,0.00,,,0.4000",
+		"1024,0.200000,0.100000,11,487.000000,0.970000,0.00,,,0.5000",
+		"1536,0.300000,0.150000,10,487.000000,0.980000,0.00,,,0.6000",
+	))
+	c := mustRead(t, csvOf(
+		"512,0.100000,0.050000,12,487.000000,0.960000,0.00,,,0.4000",
+		"1024,0.250000,0.100000,11,487.000000,0.970000,0.00,,,0.5000", // interval_wa +0.05
+		"1536,0.300000,0.150000,10,487.000000,0.880000,0.00,,,0.6000", // cache_hit −0.1
+	))
+	r := Compare(g, c, nil)
+	if !r.Divergent() {
+		t.Fatalf("perturbed series did not diverge:\n%s", r)
+	}
+	first := r.FirstDivergence()
+	if first == nil || first.Clock != 1024 || first.Column != "interval_wa" {
+		t.Fatalf("FirstDivergence = %+v, want interval_wa @1024", first)
+	}
+	byName := map[string]ColumnReport{}
+	for _, col := range r.Columns {
+		byName[col.Column] = col
+	}
+	iw := byName["interval_wa"]
+	if iw.Violations != 1 || iw.First == nil || iw.First.Clock != 1024 {
+		t.Errorf("interval_wa report: %+v", iw)
+	}
+	if math.Abs(iw.Max.Diff-0.05) > 1e-12 || iw.Max.Clock != 1024 {
+		t.Errorf("interval_wa max: %+v", iw.Max)
+	}
+	ch := byName["cache_hit"]
+	if ch.Violations != 1 || ch.First == nil || ch.First.Clock != 1536 {
+		t.Errorf("cache_hit report: %+v", ch)
+	}
+	if cw := byName["cum_wa"]; cw.Violations != 0 {
+		t.Errorf("cum_wa should be clean: %+v", cw)
+	}
+	out := r.String()
+	for _, want := range []string{"FIRST DIVERGENCE @clock 1024 in interval_wa", "DIVERGED at 1 points"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	g := mustRead(t, "clock,x\n100,1.000000\n")
+	within := mustRead(t, "clock,x\n100,1.000001\n") // exactly Abs away (1e-6, before the Rel term)
+	beyond := mustRead(t, "clock,x\n100,1.000010\n")
+	tols := map[string]Tolerance{"x": {Abs: 1e-6, Rel: 0}}
+	if r := Compare(g, within, tols); r.Divergent() {
+		t.Errorf("|Δ| == Abs must be within tolerance:\n%s", r)
+	}
+	if r := Compare(g, beyond, tols); !r.Divergent() {
+		t.Errorf("|Δ| = 10×Abs must diverge:\n%s", r)
+	}
+	// The relative term scales with magnitude: a 0.4 gap at value ~5000
+	// passes rel 1e-4 (tol 0.5) but a 0.6 gap does not.
+	g2 := mustRead(t, "clock,x\n100,5000.0\n")
+	pass := mustRead(t, "clock,x\n100,5000.4\n")
+	fail := mustRead(t, "clock,x\n100,5000.6\n")
+	rtols := map[string]Tolerance{"x": {Abs: 0, Rel: 1e-4}}
+	if r := Compare(g2, pass, rtols); r.Divergent() {
+		t.Errorf("within relative tolerance diverged:\n%s", r)
+	}
+	if r := Compare(g2, fail, rtols); !r.Divergent() {
+		t.Errorf("beyond relative tolerance passed:\n%s", r)
+	}
+}
+
+// A gauge present in one series but empty in the other is a divergence (the
+// schemes disagree about whether the gauge applies); empty-vs-empty agrees.
+func TestComparePresenceMismatch(t *testing.T) {
+	g := mustRead(t, "clock,cache_hit\n100,\n200,\n")
+	same := mustRead(t, "clock,cache_hit\n100,\n200,\n")
+	tols := map[string]Tolerance{"cache_hit": {Abs: 1e-6, Rel: 0}}
+	if r := Compare(g, same, tols); r.Divergent() {
+		t.Errorf("empty-vs-empty diverged:\n%s", r)
+	}
+	c := mustRead(t, "clock,cache_hit\n100,\n200,0.5\n")
+	r := Compare(g, c, tols)
+	if !r.Divergent() {
+		t.Fatalf("presence mismatch not flagged:\n%s", r)
+	}
+	first := r.FirstDivergence()
+	if first == nil || first.Clock != 200 || !math.IsInf(first.Diff, 1) {
+		t.Errorf("FirstDivergence = %+v, want +Inf diff @200", first)
+	}
+}
+
+func TestCompareClockGridMismatch(t *testing.T) {
+	g := mustRead(t, "clock,x\n100,1\n200,2\n300,3\n")
+	c := mustRead(t, "clock,x\n100,1\n250,2\n300,3\n")
+	r := Compare(g, c, map[string]Tolerance{"x": {Abs: 1, Rel: 0}})
+	if !r.Divergent() {
+		t.Fatalf("grid mismatch not flagged:\n%s", r)
+	}
+	if r.Aligned != 2 || r.GoldenOnly != 1 || r.CandidateOnly != 1 {
+		t.Errorf("alignment: aligned %d goldenOnly %d candidateOnly %d", r.Aligned, r.GoldenOnly, r.CandidateOnly)
+	}
+	if len(r.GoldenOnlyHead) != 1 || r.GoldenOnlyHead[0] != 200 {
+		t.Errorf("GoldenOnlyHead = %v", r.GoldenOnlyHead)
+	}
+	if !strings.Contains(r.String(), "CLOCK GRID MISMATCH") {
+		t.Errorf("report missing grid mismatch:\n%s", r)
+	}
+}
+
+func TestCompareMissingColumn(t *testing.T) {
+	g := mustRead(t, "clock,interval_wa,threshold\n100,0.1,487\n")
+	c := mustRead(t, "clock,interval_wa\n100,0.1\n")
+	tols := map[string]Tolerance{"interval_wa": {Abs: 1e-6}, "threshold": {Abs: 1e-6}}
+	r := Compare(g, c, tols)
+	if !r.Divergent() {
+		t.Fatalf("missing column not flagged:\n%s", r)
+	}
+	var thr *ColumnReport
+	for i := range r.Columns {
+		if r.Columns[i].Column == "threshold" {
+			thr = &r.Columns[i]
+		}
+	}
+	if thr == nil || !thr.MissingCandidate || thr.MissingGolden {
+		t.Errorf("threshold report: %+v", thr)
+	}
+	if !strings.Contains(r.String(), "MISSING from candidate") {
+		t.Errorf("report missing MISSING marker:\n%s", r)
+	}
+}
+
+// DefaultTolerances must cover exactly the documented compared columns so
+// the harness and its docs cannot drift apart silently.
+func TestDefaultTolerancesCoverComparedColumns(t *testing.T) {
+	tols := DefaultTolerances()
+	if len(tols) != len(ComparedColumns) {
+		t.Fatalf("DefaultTolerances has %d entries, ComparedColumns %d", len(tols), len(ComparedColumns))
+	}
+	for _, c := range ComparedColumns {
+		tol, ok := tols[c]
+		if !ok {
+			t.Errorf("no tolerance for %s", c)
+		}
+		if tol.Abs <= 0 || tol.Abs > 1e-5 {
+			t.Errorf("%s: Abs = %g outside the CSV-quantum regime", c, tol.Abs)
+		}
+	}
+}

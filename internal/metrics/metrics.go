@@ -89,8 +89,13 @@ func (c *Confusion) String() string {
 }
 
 // Percentiles computes the given percentiles (each in [0,100]) of samples
-// using nearest-rank interpolation. The input slice is sorted in place.
-// Returns nil for empty input.
+// using linear interpolation between the two closest ranks (the same
+// definition as numpy's default): rank = p/100·(n−1), and a fractional rank
+// blends the two neighbouring order statistics. This is NOT nearest-rank —
+// e.g. the 25th percentile of {1,2,3,4} is 1.75, not 2 — and the checked-in
+// golden results depend on the interpolating behaviour, so it must not be
+// "fixed" to nearest-rank. The input slice is sorted in place. Returns nil
+// for empty input.
 func Percentiles(samples []float64, pcts ...float64) []float64 {
 	if len(samples) == 0 {
 		return nil
@@ -274,12 +279,16 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]) from bucket
 // midpoints, clamped to the observed [min, max] so coarse buckets never
-// report a value outside the data. A quantile landing in the final bucket
-// reports the observed max: that bucket also absorbs every overflow sample,
-// so its midpoint is meaningless.
+// report a value outside the data. The extremes report exact observations
+// rather than bucket estimates: q=0 returns the observed minimum, and a
+// quantile landing in the final bucket reports the observed max — that
+// bucket also absorbs every overflow sample, so its midpoint is meaningless.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.minV
 	}
 	target := uint64(clamp(q, 0, 1) * float64(h.count))
 	var cum uint64

@@ -92,6 +92,29 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// Percentiles linearly interpolates between the two closest ranks; it is NOT
+// nearest-rank. The golden result files were produced with this definition,
+// so this test pins it: nearest-rank would return 2 for the 25th percentile
+// of {1,2,3,4}, interpolation returns 1.75.
+func TestPercentilesLinearInterpolation(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{10, 1.3},
+		{25, 1.75},
+		{50, 2.5},
+		{75, 3.25},
+		{90, 3.7},
+	}
+	for _, c := range cases {
+		got := Percentiles([]float64{4, 2, 1, 3}, c.p)[0]
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentiles({1,2,3,4}, %v) = %v, want %v (interpolated)", c.p, got, c.want)
+		}
+	}
+}
+
 func TestMeanStdDev(t *testing.T) {
 	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if m := Mean(s); math.Abs(m-5) > 1e-12 {
@@ -265,6 +288,30 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 	if got := h.Quantile(0); got < 0.5 || got > 1e9 {
 		t.Errorf("Quantile(0) = %v outside observed range", got)
+	}
+}
+
+// Quantile(0) must report the observed minimum, symmetric with the
+// final-bucket → observed-max rule; a clamped bucket midpoint (the old
+// behaviour) overstates the minimum whenever the first sample sits below its
+// bucket's midpoint.
+func TestHistogramQuantileZeroReturnsMin(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	h.Add(0.2)
+	h.Add(5.5)
+	if got := h.Quantile(0); got != 0.2 {
+		t.Errorf("Quantile(0) = %v, want observed min 0.2 (not the 0.5 bucket midpoint)", got)
+	}
+	if got := h.Quantile(1); got != 5.5 {
+		t.Errorf("Quantile(1) = %v, want observed max 5.5", got)
+	}
+	// A negative observed minimum (clamped into bucket 0 for counting) must
+	// still be reported exactly.
+	h2 := NewHistogram(10, 1.0)
+	h2.Add(-4)
+	h2.Add(4)
+	if got := h2.Quantile(0); got != -4 {
+		t.Errorf("Quantile(0) = %v, want observed min -4", got)
 	}
 }
 

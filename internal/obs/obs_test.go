@@ -99,6 +99,54 @@ func TestTraceRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// A Reset racing Record must never leave the per-kind counts and Total
+// disagreeing about how many events the recorder has seen: both are updated
+// under the recorder lock. (The count bump used to happen before taking the
+// lock, so a Reset landing in between counted an event that then reached the
+// ring — Total > counts — or vice versa.)
+func TestTraceRecorderResetRaceConsistency(t *testing.T) {
+	r := NewTraceRecorder(32)
+	const writers, perW = 4, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Record(Event{Kind: KindGCEnd, Clock: uint64(i)})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Reset()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	total, byKind := r.Total(), r.CountByKind(KindGCEnd)
+	if total != byKind {
+		t.Fatalf("Total = %d but CountByKind = %d after concurrent Reset", total, byKind)
+	}
+	want := total
+	if cap := uint64(r.Capacity()); want > cap {
+		want = cap
+	}
+	if got := uint64(len(r.Events())); got != want {
+		t.Fatalf("Events len = %d, want %d (total %d, capacity %d)", got, want, total, r.Capacity())
+	}
+}
+
 func TestNoOpRecorderZeroAlloc(t *testing.T) {
 	var r Recorder = NopRecorder{}
 	ev := Event{Kind: KindGCStart, Clock: 42, SB: 7, A: 100, F0: 0.5}
@@ -179,7 +227,9 @@ func TestWriteSamplesCSV(t *testing.T) {
 	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if lines[1] != "128,0.250000,0.200000,12,800.000,0.990000,2.00,0.500,2.125,0.5000" {
+	// threshold carries 6 decimals: hill-climbing steps below 0.001 must
+	// survive the round-trip into the golden-curve differ.
+	if lines[1] != "128,0.250000,0.200000,12,800.000000,0.990000,2.00,0.500,2.125,0.5000" {
 		t.Errorf("row = %q", lines[1])
 	}
 }
@@ -208,7 +258,7 @@ func TestSinksOmitNaNGauges(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if want := "64,0.500000,0.500000,8,0.000,,0.00,,,0.2500"; lines[1] != want {
+	if want := "64,0.500000,0.500000,8,0.000000,,0.00,,,0.2500"; lines[1] != want {
 		t.Errorf("CSV row = %q, want %q", lines[1], want)
 	}
 }

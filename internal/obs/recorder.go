@@ -56,12 +56,15 @@ func NewTraceRecorder(capacity int) *TraceRecorder {
 // Capacity returns the ring capacity in events.
 func (r *TraceRecorder) Capacity() int { return len(r.buf) }
 
-// Record implements Recorder.
+// Record implements Recorder. The per-kind count is bumped under the same
+// lock as the slot reservation: bumping it outside would let a concurrent
+// Reset land between the two and leave counts/Total disagreeing about how
+// many events this recorder has seen.
 func (r *TraceRecorder) Record(ev Event) {
+	r.mu.Lock()
 	if int(ev.Kind) < numKinds {
 		r.counts[ev.Kind].Add(1)
 	}
-	r.mu.Lock()
 	i := r.next.Add(1) - 1
 	r.buf[i&r.mask] = ev
 	r.mu.Unlock()

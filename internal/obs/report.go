@@ -127,7 +127,7 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "observability report (%d retained events", r.Events)
 	if r.EventsDropped > 0 {
-		fmt.Fprintf(&b, ", %d dropped by ring wraparound", r.EventsDropped)
+		fmt.Fprintf(&b, ", %d dropped by ring wraparound — raise the event-ring capacity (-ring-cap)", r.EventsDropped)
 	}
 	fmt.Fprintf(&b, ", %d samples)\n", r.Samples)
 	fmt.Fprintf(&b, "  gc collections       %d (%d pages migrated, valid-ratio p50 %.2f p99 %.2f)\n",

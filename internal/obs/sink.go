@@ -157,7 +157,10 @@ func WriteJSONL(w io.Writer, run string, events []Event, samples []Sample) error
 
 // WriteSamplesCSV writes the sample series as CSV with a header row.
 // Per-stream open fill is flattened to its mean to keep the column set
-// fixed; the JSONL stream retains the full vector.
+// fixed; the JSONL stream retains the full vector. threshold is printed at
+// %.6f — PHFTL's hill-climbing steps can be smaller than 0.001, and the
+// golden-curve differ (internal/golden) must see them, so the CSV keeps
+// enough precision to resolve a single step.
 func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean"); err != nil {
@@ -182,7 +185,7 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 		if !math.IsNaN(s.LatencyP99MS) {
 			p99 = fmt.Sprintf("%.3f", s.LatencyP99MS)
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.3f,%s,%.2f,%s,%s,%.4f\n",
+		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.6f,%s,%.2f,%s,%s,%.4f\n",
 			s.Clock, s.IntervalWA, s.CumWA, s.FreeSB, s.Threshold,
 			hit, s.QueueDepth, p50, p99, fill); err != nil {
 			return err

@@ -28,6 +28,31 @@ func WriteCSVRow(w io.Writer, driveClass string, res sim.Result) error {
 	return err
 }
 
+// CellCSVName is the file name under which a cell's sample time series is
+// stored by wabench -telemetry-csv and looked up by the golden-curve
+// harness (cmd/wadiff, make golden-check): "<trace>_<scheme>.csv" with the
+// trace ID's '#' prefix stripped and any path-hostile characters replaced
+// by '_'.
+func CellCSVName(c Cell) string {
+	return sanitizeFile(c.Trace) + "_" + sanitizeFile(string(c.Scheme)) + ".csv"
+}
+
+func sanitizeFile(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			b.WriteRune(r)
+		case r == '#':
+			// Trace IDs are "#52" etc.; the marker carries no information in
+			// a file name.
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
 // Summary renders the single-run measurement block (WA, GC activity, wear,
 // and for PHFTL the classifier/threshold/cache statistics) that phftlsim
 // prints. lifetime 0 suppresses the endurance line.

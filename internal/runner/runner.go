@@ -37,16 +37,30 @@ type Cell struct {
 func (c Cell) RunTag() string { return c.Trace + "/" + string(c.Scheme) }
 
 // Output is what one cell produces. Events and Samples are the cell's own
-// buffered telemetry (nil when the cell did not observe); Extra carries any
-// harness-specific payload (e.g. perfbench's phase results). Err is the
-// cell's failure, if any, already tagged with the cell's trace/scheme.
+// buffered telemetry (nil when the cell did not observe); Dropped counts
+// events the cell's ring overwrote (its retained window is incomplete);
+// Extra carries any harness-specific payload (e.g. perfbench's phase
+// results). Err is the cell's failure, if any, already tagged with the
+// cell's trace/scheme.
 type Output struct {
 	Cell    Cell
 	Result  sim.Result
 	Events  []obs.Event
 	Samples []obs.Sample
+	Dropped uint64
 	Extra   any
 	Err     error
+}
+
+// WarnDropped prints one stderr-style warning line per cell whose event ring
+// overflowed, so lossy telemetry never goes unnoticed in harness output.
+func WarnDropped(w io.Writer, outs []Output) {
+	for _, out := range outs {
+		if out.Dropped > 0 {
+			fmt.Fprintf(w, "warning: %s: event ring dropped %d events; raise -ring-cap for a lossless trace\n",
+				out.Cell.RunTag(), out.Dropped)
+		}
+	}
 }
 
 // Func executes one cell. It runs on a worker goroutine and must not share

@@ -278,3 +278,23 @@ func TestWriteCSVRowPHFTLColumns(t *testing.T) {
 		t.Errorf("PHFTL row hit_rate = %q, want suffix ,0.7500", got)
 	}
 }
+
+// CellCSVName is the contract between wabench -telemetry-csv and the
+// golden-curve harness (testdata/golden file names); a change here orphans
+// every checked-in baseline.
+func TestCellCSVName(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Cell{Trace: "#52", Scheme: sim.SchemeBase}, "52_Base.csv"},
+		{Cell{Trace: "#144", Scheme: sim.SchemePHFTL}, "144_PHFTL.csv"},
+		{Cell{Trace: "#326", Scheme: sim.Scheme2R}, "326_2R.csv"},
+		{Cell{Trace: "a/b c", Scheme: sim.SchemeSepBIT}, "a_b_c_SepBIT.csv"},
+	}
+	for _, c := range cases {
+		if got := CellCSVName(c.cell); got != c.want {
+			t.Errorf("CellCSVName(%v) = %q, want %q", c.cell, got, c.want)
+		}
+	}
+}
