@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp smoke golden golden-check
+.PHONY: check vet build test race fmt bench benchcmp smoke watop-smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke golden-check
+check: vet build race fmt smoke watop-smoke golden-check
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,14 @@ race:
 smoke:
 	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52,#144" -parallel 2 \
 		-csv /tmp/wabench-smoke.csv -telemetry /tmp/wabench-smoke.jsonl
+
+## watop-smoke: a short phftlsim -telemetry run fed into the live dashboard
+## in -once mode under -race — proves the erase/sample stream renders a
+## frame end to end (and fails loudly if the JSONL field names drift from
+## what watop parses).
+watop-smoke:
+	$(GO) run -race ./cmd/phftlsim -trace "#52" -dw 2 -telemetry /tmp/watop-smoke.jsonl > /dev/null
+	$(GO) run -race ./cmd/watop -once -f /tmp/watop-smoke.jsonl
 
 ## Golden-curve regression harness: checked-in per-cell sample CSVs
 ## (the wabench -telemetry-csv format) for GOLDEN_TRACES × {Base,PHFTL} at

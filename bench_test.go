@@ -327,6 +327,10 @@ func BenchmarkWritePath(b *testing.B) {
 // which is the regime wabench wall-clock is dominated by. With -benchmem it
 // also pins the zero-allocation invariant of the hot path (the alloc
 // regression tests in internal/core assert the same property exactly).
+// Because GC is active, every erase taken here crosses the device's
+// disabled (nil) erase-hook branch, so this benchmark is also the
+// ≤2%-overhead gate for the wear-observability hooks when no Observation
+// is attached.
 func BenchmarkWritePathSteadyState(b *testing.B) {
 	for _, scheme := range []sim.Scheme{sim.SchemeBase, sim.SchemePHFTL} {
 		b.Run(string(scheme), func(b *testing.B) {

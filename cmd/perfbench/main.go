@@ -55,7 +55,7 @@ func main() {
 	pagesOverride := flag.Int("pages", 8192, "override drive size in pages (0 = profile default); timing replay is slower than WA-only replay")
 	iaPerPage := flag.Float64("iapp", 700, "phase-2 mean inter-arrival per written page, µs")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
-	ringCap := flag.Int("ring-cap", 0, "per-cell event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
+	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound every per-cell per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot kinds sampled); overflow drops oldest events with a stderr warning")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()

@@ -42,7 +42,7 @@ func main() {
 	telemetry := flag.String("telemetry", "", "write trace events and samples as JSONL to this file")
 	telemetryCSV := flag.String("telemetry-csv", "", "also write the sample time series as CSV to this file")
 	sampleEvery := flag.Uint64("sample-every", 0, "sampling interval in user-page writes (0 = exported/64)")
-	ringCap := flag.Int("ring-cap", 0, "event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
+	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound EVERY per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot meta-cache kinds sampled 1/16 into bounded rings); overflow drops oldest events of that kind with a stderr warning")
 	report := flag.Bool("report", false, "print the observability report after the run")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -143,7 +143,7 @@ func main() {
 
 	if o := in.Obs; o != nil {
 		if d := o.Rec.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "warning: event ring dropped %d of %d events (capacity %d); raise -ring-cap for a lossless trace\n",
+			fmt.Fprintf(os.Stderr, "warning: per-kind event rings dropped %d of %d events (total bounded capacity %d); raise -ring-cap or use the per-kind defaults (-ring-cap 0) for lossless rare kinds\n",
 				d, o.Rec.Total(), o.Rec.Capacity())
 		}
 		if telemetryF != nil {
@@ -169,6 +169,9 @@ func main() {
 		}
 		if *report {
 			fmt.Printf("\n%s", obs.BuildReport(o.Rec, o.Sampler.Series()))
+			if o.Wear != nil && o.Wear.Total() > 0 {
+				fmt.Printf("\n%s", o.Wear.Heatmap(48))
+			}
 		}
 	}
 	if err := stopProf(); err != nil {

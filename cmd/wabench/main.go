@@ -36,7 +36,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
 	telemetryCSV := flag.String("telemetry-csv", "", "write each cell's sample time series as <trace>_<scheme>.csv into this directory (created if missing); the golden-curve harness consumes this format")
-	ringCap := flag.Int("ring-cap", 0, "per-cell event-ring capacity in events (0 = default 65536); overflow drops oldest events with a stderr warning")
+	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound every per-cell per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot kinds sampled); overflow drops oldest events with a stderr warning")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()

@@ -1,0 +1,124 @@
+// Command watop is a live terminal dashboard over a PHFTL telemetry JSONL
+// stream (phftlsim/wabench -telemetry): sparklines for interval WA,
+// threshold, cache-hit and wear-skew, plus per-die wear bars fed by erase
+// events. It tails a file (following appends, like tail -f) or reads stdin:
+//
+//	phftlsim -trace '#52' -telemetry /dev/stdout | watop
+//	watop -f run.jsonl            # follow a file another process writes
+//	watop -once -f run.jsonl      # render one frame of what's there and exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "telemetry JSONL file to tail (default: read stdin)")
+		once    = flag.Bool("once", false, "consume what is available, render a single frame, exit")
+		refresh = flag.Duration("refresh", 500*time.Millisecond, "frame interval in live mode")
+		width   = flag.Int("width", 60, "sparkline/bar width in cells")
+		run     = flag.String("run", "", "only show lines tagged with this run id")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 && *file == "" {
+		*file = flag.Arg(0)
+	}
+	if err := watop(*file, *once, *refresh, *width, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "watop:", err)
+		os.Exit(1)
+	}
+}
+
+func watop(file string, once bool, refresh time.Duration, width int, run string) error {
+	m := newModel(run, width)
+	var r io.Reader = os.Stdin
+	follow := false // a file is followed tail -f style; a pipe ends at EOF
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+		follow = true
+	}
+	if once {
+		drainOnce(m, bufio.NewReader(r))
+		fmt.Print(m.frame())
+		return nil
+	}
+	return live(m, bufio.NewReader(r), follow, refresh, os.Stdout)
+}
+
+// drainOnce consumes every line currently available, including a trailing
+// line without a newline (the stream may end mid-append).
+func drainOnce(m *model, br *bufio.Reader) {
+	for {
+		line, err := br.ReadBytes('\n')
+		if n := len(line); n > 0 {
+			if line[n-1] == '\n' {
+				line = line[:n-1]
+			}
+			m.consume(line)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// live renders a frame every refresh interval while a reader goroutine feeds
+// lines in. A followed file is re-polled after EOF (tail -f); a pipe renders
+// its final frame and exits when the writer closes it. Frames are drawn with
+// an ANSI clear-home so the dashboard redraws in place.
+func live(m *model, br *bufio.Reader, follow bool, refresh time.Duration, w io.Writer) error {
+	lines := make(chan []byte, 1024)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			line, err := br.ReadBytes('\n')
+			if n := len(line); n > 0 && line[n-1] == '\n' {
+				buf := make([]byte, n-1)
+				copy(buf, line[:n-1])
+				lines <- buf
+			}
+			switch {
+			case err == io.EOF && follow:
+				time.Sleep(refresh / 2) // wait for the writer to append more
+			case err != nil:
+				if err == io.EOF {
+					err = nil // closed pipe: clean end of stream
+				}
+				done <- err
+				return
+			}
+		}
+	}()
+	draw := func() { fmt.Fprint(w, "\x1b[2J\x1b[H", m.frame()) }
+	tick := time.NewTicker(refresh)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-done:
+			for { // fold in anything still queued before the last frame
+				select {
+				case l := <-lines:
+					m.consume(l)
+				default:
+					draw()
+					return err
+				}
+			}
+		case l := <-lines:
+			m.consume(l)
+		case <-tick.C:
+			draw()
+		}
+	}
+}

@@ -20,12 +20,19 @@ type WearReport struct {
 	// allocation with round-robin superblocks keeps it low without a
 	// dedicated wear-leveler.
 	ImbalanceRatio float64
+	// PerDie is each die's total erase count, indexed by die. Superblock
+	// erases touch every die once, so the entries are equal unless block
+	// erases bypassed superblock addressing; the sum always equals
+	// TotalErases, which cross-checks the incremental accounting in
+	// internal/wear against this device scan.
+	PerDie []uint64
 }
 
 // Wear scans the device and returns the erase-count distribution.
 func (f *FTL) Wear() WearReport {
 	geo := f.cfg.Geometry
 	counts := make([]int, 0, geo.TotalBlocks())
+	perDie := make([]uint64, geo.Dies)
 	var total uint64
 	for die := 0; die < geo.Dies; die++ {
 		for blk := 0; blk < geo.BlocksPerDie; blk++ {
@@ -34,6 +41,7 @@ func (f *FTL) Wear() WearReport {
 				continue
 			}
 			counts = append(counts, c)
+			perDie[die] += uint64(c)
 			total += uint64(c)
 		}
 	}
@@ -49,6 +57,7 @@ func (f *FTL) Wear() WearReport {
 	}
 	rep := WearReport{
 		TotalErases: total,
+		PerDie:      perDie,
 		MinErases:   counts[0],
 		MaxErases:   counts[len(counts)-1],
 		MeanErases:  mean,

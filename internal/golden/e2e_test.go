@@ -102,3 +102,53 @@ func TestGCPolicyPerturbationFlagged(t *testing.T) {
 		t.Errorf("first divergence at clock 0: %+v", first)
 	}
 }
+
+// Additive-columns compatibility pin: the checked-in baselines predate the
+// wear_skew/wear_cov CSV columns, while a fresh replay now emits them. The
+// compared-column mechanism must keep such a pair green — old baselines stay
+// valid because new columns are appended at the end of the row and only
+// ComparedColumns are examined. If this test fails, either a new column
+// landed in the middle of the row (breaking historical positions) or the
+// differ started comparing columns the baselines do not carry.
+func TestGoldenBaselineToleratesAdditiveColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a full golden cell")
+	}
+	const id, dw = "#52", 4 // mirrors make golden: GOLDEN_TRACES cell at GOLDEN_DW
+	baseline, err := golden.LoadSeries("../../testdata/golden/52_PHFTL.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"wear_skew", "wear_cov"} {
+		if baseline.Column(col) != nil {
+			t.Fatalf("baseline already carries %s — regenerate-proof pin lost; rewrite this test against a pre-wear baseline fixture", col)
+		}
+	}
+
+	p, _ := workload.ProfileByID(id)
+	geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
+	in, err := sim.Build(sim.SchemePHFTL, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := runSeries(t, in, id, dw)
+	for _, col := range []string{"wear_skew", "wear_cov"} {
+		if fresh.Column(col) == nil {
+			t.Fatalf("fresh replay is missing the %s column", col)
+		}
+	}
+	// The new columns must sit strictly after every baseline column.
+	if n := len(baseline.Columns); len(fresh.Columns) < n+2 {
+		t.Fatalf("fresh header %v is not baseline header + appended columns %v", fresh.Columns, baseline.Columns)
+	}
+	for i, col := range baseline.Columns {
+		if fresh.Columns[i] != col {
+			t.Fatalf("column %d moved: baseline %q, fresh %q — historical positions must not change", i, col, fresh.Columns[i])
+		}
+	}
+
+	r := golden.Compare(baseline, fresh, nil)
+	if r.Divergent() {
+		t.Fatalf("fresh replay diverged from checked-in baseline despite additive-only columns:\n%s", r)
+	}
+}

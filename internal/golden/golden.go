@@ -8,7 +8,7 @@
 //
 // # Compared columns
 //
-// Of the ten CSV columns, four are compared by default:
+// Of the twelve CSV columns, four are compared by default:
 //
 //   - interval_wa — the per-interval write amplification, the quantity the
 //     paper's Figure 5 trajectories actually plot. The primary regression
@@ -37,6 +37,13 @@
 //     GC cycle the sampling instant lands, so they alarm on benign
 //     reorderings whose WA trajectory is unchanged. Their behavioural
 //     content is already integrated into interval_wa.
+//   - wear_skew and wear_cov (internal/wear gauges, appended at the end of
+//     the row) are derived from the same erase stream interval_wa already
+//     integrates, and baselines checked in before their introduction lack
+//     the columns entirely; comparing them would invalidate every old
+//     baseline for no added signal. Because comparison is by column name
+//     over tols keys only, extra candidate columns are ignored
+//     automatically — which is what keeps old baselines green.
 //
 // Wall-clock-noisy fields (e.g. the window_retrain event's duration_ns) are
 // excluded by construction: they exist only in the JSONL event stream, and

@@ -116,6 +116,11 @@ type Device struct {
 	lat    Latency
 	onOp   func(kind OpKind, p PPN)
 	strict bool // enforce in-block sequential programming
+
+	// Wear-observability state, kept after the hot fields above so adding
+	// it did not shift the per-op counters' offsets.
+	dieErase []uint64 // erase cycles per die (sums to stats.Erases)
+	onErase  func(die, blk, count int)
 }
 
 // NewDevice builds a device with the given geometry. All pages start free.
@@ -124,6 +129,7 @@ func NewDevice(geo Geometry) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{geo: geo, lat: DefaultLatency(), strict: true}
+	d.dieErase = make([]uint64, geo.Dies)
 	d.dies = make([][]block, geo.Dies)
 	for i := range d.dies {
 		d.dies[i] = make([]block, geo.BlocksPerDie)
@@ -157,6 +163,13 @@ func (d *Device) SetLatency(l Latency) { d.lat = l }
 // operation. Timing models use it to charge die service time. For OpErase
 // the PPN is the first page of the erased block.
 func (d *Device) SetOpHook(fn func(kind OpKind, p PPN)) { d.onOp = fn }
+
+// SetEraseHook installs a callback invoked after every successful block
+// erase with the block's physical coordinates and its new cumulative erase
+// count. It is independent of the op hook so wear accounting (internal/wear)
+// composes with a timing model holding the op hook. A nil hook (the
+// default) costs the erase path one predictable branch.
+func (d *Device) SetEraseHook(fn func(die, blk, count int)) { d.onErase = fn }
 
 // Stats returns a copy of the accumulated operation counts.
 func (d *Device) Stats() Stats { return d.stats }
@@ -293,9 +306,13 @@ func (d *Device) EraseBlock(die, blk int) error {
 	b.writePtr = 0
 	b.programed = 0
 	b.eraseCnt++
+	d.dieErase[die]++
 	d.stats.Erases++
 	if d.onOp != nil {
 		d.onOp(OpErase, d.geo.PPNOf(die, blk, 0))
+	}
+	if d.onErase != nil {
+		d.onErase(die, blk, b.eraseCnt)
 	}
 	return nil
 }
@@ -361,6 +378,15 @@ func (d *Device) EraseCount(die, blk int) (int, error) {
 		return 0, fmt.Errorf("%w: die %d block %d", ErrOutOfRange, die, blk)
 	}
 	return d.dies[die][blk].eraseCnt, nil
+}
+
+// DieEraseCount returns the total erase cycles absorbed by one die. The
+// per-die counts always sum to Stats().Erases.
+func (d *Device) DieEraseCount(die int) (uint64, error) {
+	if die < 0 || die >= d.geo.Dies {
+		return 0, fmt.Errorf("%w: die %d", ErrOutOfRange, die)
+	}
+	return d.dieErase[die], nil
 }
 
 // MaxEraseCount returns the highest erase count across all blocks, a proxy

@@ -65,8 +65,14 @@ const (
 	// stalls and 1 for timing-model die-contention stalls, and C is the
 	// stall duration in simulated nanoseconds (timing-model stalls only).
 	KindWriteStall
+	// KindErase records one block erase with its physical coordinates from
+	// the internal/nand geometry: SB is the superblock (== in-die block
+	// index), A the die, B the block-in-die (equal to SB under superblock
+	// addressing) and C the block's cumulative erase count after this
+	// erase. One superblock collection emits Geometry.Dies of these.
+	KindErase
 
-	numKinds = int(KindWriteStall) + 1
+	numKinds = int(KindErase) + 1
 )
 
 // String returns the snake_case name used in JSONL output.
@@ -92,6 +98,8 @@ func (k Kind) String() string {
 		return "meta_cache_evict"
 	case KindWriteStall:
 		return "write_stall"
+	case KindErase:
+		return "erase"
 	default:
 		return "unknown"
 	}

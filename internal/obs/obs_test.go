@@ -11,8 +11,10 @@ import (
 
 func TestTraceRecorderBasics(t *testing.T) {
 	r := NewTraceRecorder(8)
-	if r.Capacity() != 8 {
-		t.Fatalf("Capacity = %d, want 8", r.Capacity())
+	// The deprecated one-size capacity bounds every per-kind ring, so the
+	// total bounded capacity is cap × kinds.
+	if r.Capacity() != 8*numKinds {
+		t.Fatalf("Capacity = %d, want %d", r.Capacity(), 8*numKinds)
 	}
 	for i := 0; i < 5; i++ {
 		r.Record(Event{Kind: KindSBOpen, Clock: uint64(i), SB: int32(i)})
@@ -138,12 +140,14 @@ func TestTraceRecorderResetRaceConsistency(t *testing.T) {
 	if total != byKind {
 		t.Fatalf("Total = %d but CountByKind = %d after concurrent Reset", total, byKind)
 	}
+	// Only one kind was recorded, so retention is bounded by that kind's
+	// ring (the uniform cap of 32), not the recorder-wide Capacity().
 	want := total
-	if cap := uint64(r.Capacity()); want > cap {
-		want = cap
+	if want > 32 {
+		want = 32
 	}
 	if got := uint64(len(r.Events())); got != want {
-		t.Fatalf("Events len = %d, want %d (total %d, capacity %d)", got, want, total, r.Capacity())
+		t.Fatalf("Events len = %d, want %d (total %d)", got, want, total)
 	}
 }
 
@@ -158,8 +162,14 @@ func TestNoOpRecorderZeroAlloc(t *testing.T) {
 }
 
 func TestTraceRecorderRecordZeroAlloc(t *testing.T) {
+	// Bounded rings fill lazily via append; once a ring has wrapped, the
+	// steady-state Record path must not allocate. Hot kinds (bounded by
+	// default policy) are the ones on the replay fast path.
 	r := NewTraceRecorder(1024)
-	ev := Event{Kind: KindSBClose, Clock: 1, SB: 2, Stream: 3, A: 4}
+	ev := Event{Kind: KindMetaCacheHit, Clock: 1, SB: 2, Stream: 3, A: 4}
+	for i := 0; i < 64*1024; i++ { // fill past cap × sampling rate
+		r.Record(ev)
+	}
 	if allocs := testing.AllocsPerRun(1000, func() {
 		r.Record(ev)
 	}); allocs != 0 {
@@ -172,7 +182,8 @@ func TestTraceRecorderRecordZeroAlloc(t *testing.T) {
 // with kind-specific field names in fixed order.
 const goldenJSONL = `{"ev":"gc_start","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"valid":25,"free_sb":9,"valid_ratio":0.25}
 {"ev":"gc_end","run":"r1","clock":10,"sb":3,"stream":1,"gc_class":0,"migrated":25,"free_sb":10,"valid_ratio":0.25}
-{"ev":"sample","run":"r1","clock":64,"interval_wa":0.125,"cum_wa":0.125,"free_sb":10,"threshold":500,"cache_hit":0.875,"queue_depth":0,"lat_p50_ms":0.25,"lat_p99_ms":1.5,"open_fill":[0.5,0]}
+{"ev":"erase","run":"r1","clock":10,"die":2,"block":3,"erase_count":7}
+{"ev":"sample","run":"r1","clock":64,"interval_wa":0.125,"cum_wa":0.125,"free_sb":10,"threshold":500,"cache_hit":0.875,"queue_depth":0,"lat_p50_ms":0.25,"lat_p99_ms":1.5,"wear_skew":1.25,"wear_cov":0.125,"open_fill":[0.5,0]}
 {"ev":"threshold_update","run":"r1","clock":100,"old":500,"new":620,"probe_accuracy":0.75,"direction":1,"step":5,"inflection_seed":0}
 {"ev":"window_retrain","run":"r1","clock":100,"examples":256,"deployed":1,"duration_ns":1500000,"loss":0.0625,"threshold":620}
 {"ev":"meta_cache_miss","run":"r1","clock":120,"mppn":4096}
@@ -183,6 +194,7 @@ func TestWriteJSONLGolden(t *testing.T) {
 	events := []Event{
 		{Kind: KindGCStart, Clock: 10, SB: 3, Stream: 1, GCClass: 0, A: 25, B: 9, F0: 0.25},
 		{Kind: KindGCEnd, Clock: 10, SB: 3, Stream: 1, GCClass: 0, A: 25, B: 10, F0: 0.25},
+		{Kind: KindErase, Clock: 10, SB: 3, A: 2, B: 3, C: 7},
 		{Kind: KindThresholdUpdate, Clock: 100, SB: -1, Stream: -1, GCClass: -1, A: 1, B: 5, C: 0, F0: 500, F1: 620, F2: 0.75},
 		{Kind: KindWindowRetrain, Clock: 100, SB: -1, Stream: -1, GCClass: -1, A: 256, B: 1, C: 1500000, F0: 0.0625, F1: 620},
 		{Kind: KindMetaCacheMiss, Clock: 120, SB: -1, Stream: -1, GCClass: -1, A: 4096},
@@ -190,7 +202,7 @@ func TestWriteJSONLGolden(t *testing.T) {
 	}
 	samples := []Sample{
 		{Clock: 64, IntervalWA: 0.125, CumWA: 0.125, FreeSB: 10, Threshold: 500, CacheHitRatio: 0.875,
-			LatencyP50MS: 0.25, LatencyP99MS: 1.5, OpenFill: []float64{0.5, 0}},
+			LatencyP50MS: 0.25, LatencyP99MS: 1.5, WearSkew: 1.25, WearCoV: 0.125, OpenFill: []float64{0.5, 0}},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, "r1", events, samples); err != nil {
@@ -214,7 +226,7 @@ func TestWriteJSONLGolden(t *testing.T) {
 func TestWriteSamplesCSV(t *testing.T) {
 	samples := []Sample{
 		{Clock: 128, IntervalWA: 0.25, CumWA: 0.2, FreeSB: 12, Threshold: 800, CacheHitRatio: 0.99, QueueDepth: 2,
-			LatencyP50MS: 0.5, LatencyP99MS: 2.125, OpenFill: []float64{1, 0.5, 0}},
+			LatencyP50MS: 0.5, LatencyP99MS: 2.125, WearSkew: 1.25, WearCoV: 0.125, OpenFill: []float64{1, 0.5, 0}},
 	}
 	var buf bytes.Buffer
 	if err := WriteSamplesCSV(&buf, samples); err != nil {
@@ -224,12 +236,15 @@ func TestWriteSamplesCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("got %d lines, want header + 1 row", len(lines))
 	}
-	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean" {
+	// wear_skew and wear_cov sit strictly at the end of the row: every
+	// pre-existing column keeps its historical position so golden baselines
+	// written before their introduction still align.
+	if lines[0] != "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean,wear_skew,wear_cov" {
 		t.Errorf("header = %q", lines[0])
 	}
 	// threshold carries 6 decimals: hill-climbing steps below 0.001 must
 	// survive the round-trip into the golden-curve differ.
-	if lines[1] != "128,0.250000,0.200000,12,800.000000,0.990000,2.00,0.500,2.125,0.5000" {
+	if lines[1] != "128,0.250000,0.200000,12,800.000000,0.990000,2.00,0.500,2.125,0.5000,1.2500,0.1250" {
 		t.Errorf("row = %q", lines[1])
 	}
 }
@@ -241,9 +256,10 @@ func TestWriteSamplesCSV(t *testing.T) {
 func TestSinksOmitNaNGauges(t *testing.T) {
 	s := Sample{Clock: 64, IntervalWA: 0.5, CumWA: 0.5, FreeSB: 8,
 		CacheHitRatio: math.NaN(), LatencyP50MS: math.NaN(), LatencyP99MS: math.NaN(),
+		WearSkew: math.NaN(), WearCoV: math.NaN(),
 		OpenFill: []float64{0.25}}
 	line := string(AppendSampleJSON(nil, s, "r1"))
-	for _, field := range []string{"cache_hit", "lat_p50_ms", "lat_p99_ms"} {
+	for _, field := range []string{"cache_hit", "lat_p50_ms", "lat_p99_ms", "wear_skew", "wear_cov"} {
 		if strings.Contains(line, field) {
 			t.Errorf("JSONL line carries %s for NaN gauge: %s", field, line)
 		}
@@ -258,7 +274,7 @@ func TestSinksOmitNaNGauges(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if want := "64,0.500000,0.500000,8,0.000000,,0.00,,,0.2500"; lines[1] != want {
+	if want := "64,0.500000,0.500000,8,0.000000,,0.00,,,0.2500,,"; lines[1] != want {
 		t.Errorf("CSV row = %q, want %q", lines[1], want)
 	}
 }
@@ -334,6 +350,108 @@ func TestBuildReport(t *testing.T) {
 	}
 	out := rep.String()
 	for _, want := range []string{"gc collections       2", "threshold", "meta cache", "write stalls         1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Rare kinds are lossless under the default policy: a burst far larger than
+// any bounded ring is retained in full, with nothing dropped or thinned.
+func TestDefaultPolicyRareKindsLossless(t *testing.T) {
+	r := NewTraceRecorder(0)
+	const n = DefaultRingCapacity + 1000 // beyond the old one-size bound
+	for i := 0; i < n; i++ {
+		r.Record(Event{Kind: KindGCEnd, Clock: uint64(i)})
+	}
+	if got := len(r.Events()); got != n {
+		t.Fatalf("retained %d of %d lossless events", got, n)
+	}
+	if r.Dropped() != 0 || r.SampledOut() != 0 {
+		t.Fatalf("Dropped = %d, SampledOut = %d, want 0/0", r.Dropped(), r.SampledOut())
+	}
+	if got := r.SampleEveryOf(KindGCEnd); got != 1 {
+		t.Fatalf("SampleEveryOf(GCEnd) = %d, want 1", got)
+	}
+}
+
+// Hot kinds are sampled 1-in-N under the default policy: retention thins,
+// per-kind counters stay exact, and the thinned events are reported as
+// sampled-out, not dropped.
+func TestDefaultPolicyHotKindsSampled(t *testing.T) {
+	r := NewTraceRecorder(0)
+	const n = 1600
+	for i := 0; i < n; i++ {
+		r.Record(Event{Kind: KindMetaCacheHit, Clock: uint64(i)})
+	}
+	if got := r.CountByKind(KindMetaCacheHit); got != n {
+		t.Fatalf("CountByKind = %d, want exact %d despite sampling", got, n)
+	}
+	every := r.SampleEveryOf(KindMetaCacheHit)
+	if every != DefaultHotSampleEvery {
+		t.Fatalf("SampleEveryOf = %d, want %d", every, DefaultHotSampleEvery)
+	}
+	wantRetained := (n + int(every) - 1) / int(every) // first, then every Nth
+	if got := len(r.Events()); got != wantRetained {
+		t.Fatalf("retained %d events, want %d (1/%d of %d)", got, wantRetained, every, n)
+	}
+	if got := r.SampledOut(); got != uint64(n-wantRetained) {
+		t.Fatalf("SampledOut = %d, want %d", got, n-wantRetained)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 (sampling is not loss)", r.Dropped())
+	}
+	// Retention keeps the first event, then every Nth.
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := uint64(i) * every; ev.Clock != want {
+			t.Fatalf("retained[%d].Clock = %d, want %d", i, ev.Clock, want)
+		}
+	}
+}
+
+// Events from different kinds — landing in different rings — merge back into
+// exact record order.
+func TestEventsMergeRecordOrder(t *testing.T) {
+	r := NewTraceRecorder(0)
+	kinds := []Kind{KindGCStart, KindSBOpen, KindErase, KindSBClose, KindGCEnd, KindThresholdUpdate}
+	const n = 200
+	for i := 0; i < n; i++ {
+		r.Record(Event{Kind: kinds[i%len(kinds)], Clock: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != n {
+		t.Fatalf("retained %d of %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		if ev.Clock != uint64(i) || ev.Kind != kinds[i%len(kinds)] {
+			t.Fatalf("event %d out of record order: %+v", i, ev)
+		}
+	}
+}
+
+// The report surfaces the new wear/sampling facts: the erase counter, the
+// hot-kind sampling rate and the thinned-event count.
+func TestReportErasesAndSampling(t *testing.T) {
+	r := NewTraceRecorder(0)
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Kind: KindErase, Clock: uint64(i), A: int64(i % 2), B: 1, C: 1})
+	}
+	for i := 0; i < 64; i++ {
+		r.Record(Event{Kind: KindMetaCacheHit, Clock: uint64(i)})
+	}
+	rep := BuildReport(r, nil)
+	if rep.Erases != 4 {
+		t.Fatalf("Erases = %d, want 4", rep.Erases)
+	}
+	if rep.CacheSampleEvery != DefaultHotSampleEvery {
+		t.Fatalf("CacheSampleEvery = %d, want %d", rep.CacheSampleEvery, DefaultHotSampleEvery)
+	}
+	if rep.EventsSampledOut == 0 {
+		t.Fatal("EventsSampledOut = 0, want > 0")
+	}
+	out := rep.String()
+	for _, want := range []string{"block erases         4", "thinned by per-kind sampling", "events sampled 1/16"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report text missing %q:\n%s", want, out)
 		}

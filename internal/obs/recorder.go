@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -19,71 +20,234 @@ type NopRecorder struct{}
 // Record implements Recorder. It does nothing and never allocates.
 func (NopRecorder) Record(Event) {}
 
-// TraceRecorder is a bounded in-memory event ring: the last capacity events
-// are retained, older ones are overwritten, and per-kind totals survive
-// overwrites. Slot indices are reserved with an atomic counter so ordering
-// is cheap; the slot write itself is guarded by a mutex — at simulator event
-// rates an uncontended mutex is faster than a correct lock-free slot
-// protocol and keeps the race detector meaningful for callers.
+// KindPolicy sizes the retention of one event kind.
+type KindPolicy struct {
+	// Cap bounds the retained events of the kind: the newest Cap events
+	// (rounded up to a power of two) are kept, older ones are overwritten
+	// and counted as dropped. Cap <= 0 makes the kind lossless: its buffer
+	// grows without bound and nothing is ever overwritten.
+	Cap int
+	// SampleEvery thins the kind before storage: only every SampleEvery-th
+	// event of the kind is retained (the first, then every Nth). Per-kind
+	// totals stay exact — sampling loses payloads, not counts — and the
+	// rate is queryable (SampleEveryOf) so consumers can rescale.
+	// Values <= 1 retain every event.
+	SampleEvery uint64
+}
+
+// RingPolicy assigns a KindPolicy to every event kind, indexed by Kind.
+// Index 0 is the catch-all for unknown kinds.
+type RingPolicy [numKinds]KindPolicy
+
+// Default per-kind sizing. Hot kinds are the ones emitted per metadata
+// retrieval — millions per replay — where a one-size ring used to evict
+// every rare event long before the run ended; they get a bounded ring plus
+// sampling. Rare kinds (superblock lifecycle, GC, erase, threshold,
+// retrain, stall) arrive at per-GC-pass rates and are kept lossless.
+const (
+	// DefaultHotRingCapacity bounds each hot kind's ring.
+	DefaultHotRingCapacity = 1 << 14
+	// DefaultHotSampleEvery is the default thinning rate of hot kinds: one
+	// in every 16 meta-cache events is retained (counters stay exact).
+	DefaultHotSampleEvery = 16
+)
+
+// hotKinds are the event kinds emitted on the metadata-cache fast path.
+var hotKinds = [...]Kind{KindMetaCacheHit, KindMetaCacheMiss, KindMetaCacheEvict}
+
+// DefaultRingPolicy returns the default sizing: lossless rare kinds,
+// bounded+sampled hot kinds, and a bounded catch-all for unknown kinds.
+func DefaultRingPolicy() RingPolicy {
+	var p RingPolicy
+	for k := range p {
+		p[k] = KindPolicy{Cap: 0, SampleEvery: 1} // rare: lossless, unsampled
+	}
+	p[0] = KindPolicy{Cap: DefaultRingCapacity, SampleEvery: 1}
+	for _, k := range hotKinds {
+		p[k] = KindPolicy{Cap: DefaultHotRingCapacity, SampleEvery: DefaultHotSampleEvery}
+	}
+	return p
+}
+
+// UniformRingPolicy bounds every kind (including the rare ones) at cap
+// events, keeping the default sampling rates. It backs the deprecated
+// -ring-cap flag, whose one-size semantics predate per-kind rings.
+func UniformRingPolicy(cap int) RingPolicy {
+	p := DefaultRingPolicy()
+	for k := range p {
+		p[k].Cap = cap
+	}
+	return p
+}
+
+// slot is one retained event plus its global record sequence number, which
+// lets Events() re-merge the per-kind rings into record order.
+type slot struct {
+	seq uint64
+	ev  Event
+}
+
+// kindRing retains one kind under its policy. Bounded rings allocate lazily
+// (append until Cap, then wrap); lossless rings grow forever.
+type kindRing struct {
+	pol        KindPolicy
+	cap        int // Cap rounded up to a power of two; 0 = lossless
+	mask       uint64
+	buf        []slot
+	stored     uint64 // events stored into buf (including overwritten ones)
+	sampledOut uint64 // events skipped by sampling (still counted)
+}
+
+func (r *kindRing) init(pol KindPolicy) {
+	r.pol = pol
+	if pol.Cap > 0 {
+		n := 1
+		for n < pol.Cap {
+			n <<= 1
+		}
+		r.cap = n
+		r.mask = uint64(n - 1)
+	}
+}
+
+func (r *kindRing) store(seq uint64, ev Event, seen uint64) {
+	if r.pol.SampleEvery > 1 && (seen-1)%r.pol.SampleEvery != 0 {
+		r.sampledOut++
+		return
+	}
+	s := slot{seq: seq, ev: ev}
+	if r.cap == 0 || len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.stored&r.mask] = s
+	}
+	r.stored++
+}
+
+func (r *kindRing) dropped() uint64 {
+	if r.cap > 0 && r.stored > uint64(len(r.buf)) {
+		return r.stored - uint64(len(r.buf))
+	}
+	return 0
+}
+
+func (r *kindRing) reset() {
+	r.buf = r.buf[:0]
+	r.stored = 0
+	r.sampledOut = 0
+}
+
+// TraceRecorder is a bounded in-memory event store with one ring per event
+// kind: rare kinds (GC, erase, superblock lifecycle, threshold, retrain,
+// stall) are retained losslessly, hot kinds (meta-cache traffic) are
+// sampled into bounded rings, and per-kind totals are always exact. Slot
+// writes are guarded by a mutex — at simulator event rates an uncontended
+// mutex is faster than a correct lock-free slot protocol and keeps the
+// race detector meaningful for callers.
 type TraceRecorder struct {
 	mu     sync.Mutex
-	buf    []Event
-	mask   uint64
+	rings  [numKinds]kindRing
 	next   atomic.Uint64
 	counts [numKinds]atomic.Uint64
 }
 
-// DefaultRingCapacity is the event capacity used when callers pass a
-// non-positive capacity to NewTraceRecorder.
+// DefaultRingCapacity is the bounded-ring capacity the deprecated one-size
+// constructor path (NewTraceRecorder with capacity > 0 unset) used for
+// every kind; it survives as the catch-all ring's default size.
 const DefaultRingCapacity = 1 << 16
 
-// NewTraceRecorder creates a recorder retaining the last capacity events,
-// rounded up to a power of two. capacity <= 0 selects DefaultRingCapacity.
+// NewTraceRecorder creates a recorder. capacity <= 0 selects
+// DefaultRingPolicy (lossless rare kinds, sampled hot kinds); capacity > 0
+// is the deprecated one-size path and bounds every kind's ring at capacity
+// events (rounded up to a power of two), keeping default sampling.
 func NewTraceRecorder(capacity int) *TraceRecorder {
 	if capacity <= 0 {
-		capacity = DefaultRingCapacity
+		return NewTraceRecorderWithPolicy(DefaultRingPolicy())
 	}
-	n := 1
-	for n < capacity {
-		n <<= 1
-	}
-	return &TraceRecorder{
-		buf:  make([]Event, n),
-		mask: uint64(n - 1),
-	}
+	return NewTraceRecorderWithPolicy(UniformRingPolicy(capacity))
 }
 
-// Capacity returns the ring capacity in events.
-func (r *TraceRecorder) Capacity() int { return len(r.buf) }
+// NewTraceRecorderWithPolicy creates a recorder with explicit per-kind
+// sizing.
+func NewTraceRecorderWithPolicy(pol RingPolicy) *TraceRecorder {
+	r := &TraceRecorder{}
+	for k := range r.rings {
+		r.rings[k].init(pol[k])
+	}
+	return r
+}
+
+// Capacity returns the total bounded-ring capacity in events, excluding
+// lossless kinds (which have no bound).
+func (r *TraceRecorder) Capacity() int {
+	total := 0
+	for k := range r.rings {
+		total += r.rings[k].cap
+	}
+	return total
+}
+
+// SampleEveryOf returns the retention sampling rate of a kind: 1 means
+// every event of the kind is retained, N > 1 means one in N (counters are
+// exact either way).
+func (r *TraceRecorder) SampleEveryOf(k Kind) uint64 {
+	if int(k) >= numKinds {
+		k = 0
+	}
+	if s := r.rings[k].pol.SampleEvery; s > 1 {
+		return s
+	}
+	return 1
+}
 
 // Record implements Recorder. The per-kind count is bumped under the same
 // lock as the slot reservation: bumping it outside would let a concurrent
 // Reset land between the two and leave counts/Total disagreeing about how
 // many events this recorder has seen.
 func (r *TraceRecorder) Record(ev Event) {
-	r.mu.Lock()
-	if int(ev.Kind) < numKinds {
-		r.counts[ev.Kind].Add(1)
+	k := int(ev.Kind)
+	if k >= numKinds {
+		k = 0 // catch-all ring for unknown kinds
 	}
-	i := r.next.Add(1) - 1
-	r.buf[i&r.mask] = ev
+	r.mu.Lock()
+	seen := r.counts[k].Add(1)
+	seq := r.next.Add(1) - 1
+	r.rings[k].store(seq, ev, seen)
 	r.mu.Unlock()
 }
 
-// Total returns the number of events ever recorded (including overwritten
-// ones). Safe to call concurrently with Record.
+// Total returns the number of events ever recorded (including sampled-out
+// and overwritten ones). Safe to call concurrently with Record.
 func (r *TraceRecorder) Total() uint64 { return r.next.Load() }
 
-// Dropped returns how many events have been overwritten by ring wraparound.
+// Dropped returns how many stored events have been overwritten by ring
+// wraparound across all bounded kinds. Events thinned by sampling are a
+// deliberate policy, not a loss, and are reported by SampledOut instead.
 func (r *TraceRecorder) Dropped() uint64 {
-	if t := r.Total(); t > uint64(len(r.buf)) {
-		return t - uint64(len(r.buf))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for k := range r.rings {
+		total += r.rings[k].dropped()
 	}
-	return 0
+	return total
+}
+
+// SampledOut returns how many events were skipped by per-kind sampling
+// (their kind counters still include them).
+func (r *TraceRecorder) SampledOut() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for k := range r.rings {
+		total += r.rings[k].sampledOut
+	}
+	return total
 }
 
 // CountByKind returns the total number of events of the given kind ever
-// recorded, including ones the ring has since overwritten.
+// recorded, including sampled-out events and ones a ring has since
+// overwritten.
 func (r *TraceRecorder) CountByKind(k Kind) uint64 {
 	if int(k) >= numKinds {
 		return 0
@@ -91,24 +255,24 @@ func (r *TraceRecorder) CountByKind(k Kind) uint64 {
 	return r.counts[k].Load()
 }
 
-// Events returns the retained events in record order (oldest first).
+// Events returns the retained events of every kind merged back into record
+// order (oldest first).
 func (r *TraceRecorder) Events() []Event {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	total := r.next.Load()
-	if total <= uint64(len(r.buf)) {
-		out := make([]Event, total)
-		copy(out, r.buf[:total])
-		return out
+	var slots []slot
+	for k := range r.rings {
+		slots = append(slots, r.rings[k].buf...)
 	}
-	out := make([]Event, len(r.buf))
-	start := total & r.mask
-	n := copy(out, r.buf[start:])
-	copy(out[n:], r.buf[:start])
+	r.mu.Unlock()
+	sort.Slice(slots, func(i, j int) bool { return slots[i].seq < slots[j].seq })
+	out := make([]Event, len(slots))
+	for i, s := range slots {
+		out[i] = s.ev
+	}
 	return out
 }
 
-// Reset discards all retained events and totals.
+// Reset discards all retained events and totals. Ring policies survive.
 func (r *TraceRecorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -116,7 +280,7 @@ func (r *TraceRecorder) Reset() {
 	for i := range r.counts {
 		r.counts[i].Store(0)
 	}
-	for i := range r.buf {
-		r.buf[i] = Event{}
+	for k := range r.rings {
+		r.rings[k].reset()
 	}
 }

@@ -25,9 +25,20 @@ type Report struct {
 	SBOpens     uint64
 	SBCloses    uint64
 	WriteStalls uint64
+	// Erases counts block-erase events (one per die per collected
+	// superblock); wear-skew trajectories live in the sample series and the
+	// per-die heatmap in internal/wear.
+	Erases      uint64
 	CacheHits   uint64
 	CacheMisses uint64
 	CacheEvicts uint64
+	// CacheSampleEvery is the recorded retention sampling rate of the
+	// meta-cache event kinds (1 = every event retained). The hit/miss/evict
+	// counters above are exact regardless.
+	CacheSampleEvery uint64
+	// EventsSampledOut counts events thinned by per-kind sampling before
+	// storage (deliberate policy, distinct from ring-wraparound drops).
+	EventsSampledOut uint64
 	// Retrains counts all training windows (wrap-surviving counter);
 	// RetainedRetrains, Deploys, GCMigrated, the valid-ratio percentiles
 	// and the threshold timeline are computed from the retained event
@@ -70,9 +81,12 @@ func BuildReport(rec *TraceRecorder, samples []Sample) *Report {
 		r.SBOpens = rec.CountByKind(KindSBOpen)
 		r.SBCloses = rec.CountByKind(KindSBClose)
 		r.WriteStalls = rec.CountByKind(KindWriteStall)
+		r.Erases = rec.CountByKind(KindErase)
 		r.CacheHits = rec.CountByKind(KindMetaCacheHit)
 		r.CacheMisses = rec.CountByKind(KindMetaCacheMiss)
 		r.CacheEvicts = rec.CountByKind(KindMetaCacheEvict)
+		r.CacheSampleEvery = rec.SampleEveryOf(KindMetaCacheHit)
+		r.EventsSampledOut = rec.SampledOut()
 		r.Retrains = rec.CountByKind(KindWindowRetrain)
 		r.ThresholdUpdates = rec.CountByKind(KindThresholdUpdate)
 		for _, ev := range events {
@@ -126,6 +140,9 @@ func BuildReport(rec *TraceRecorder, samples []Sample) *Report {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "observability report (%d retained events", r.Events)
+	if r.EventsSampledOut > 0 {
+		fmt.Fprintf(&b, ", %d thinned by per-kind sampling (counters exact)", r.EventsSampledOut)
+	}
 	if r.EventsDropped > 0 {
 		fmt.Fprintf(&b, ", %d dropped by ring wraparound — raise the event-ring capacity (-ring-cap)", r.EventsDropped)
 	}
@@ -148,13 +165,20 @@ func (r *Report) String() string {
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  superblocks          %d opened, %d sealed\n", r.SBOpens, r.SBCloses)
+	if r.Erases > 0 {
+		fmt.Fprintf(&b, "  block erases         %d\n", r.Erases)
+	}
 	if r.WriteStalls > 0 {
 		fmt.Fprintf(&b, "  write stalls         %d\n", r.WriteStalls)
 	}
 	if r.CacheHits+r.CacheMisses > 0 {
 		hitRate := float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
-		fmt.Fprintf(&b, "  meta cache           %.2f%% hit rate (%d hits, %d misses, %d evictions)\n",
+		fmt.Fprintf(&b, "  meta cache           %.2f%% hit rate (%d hits, %d misses, %d evictions)",
 			hitRate*100, r.CacheHits, r.CacheMisses, r.CacheEvicts)
+		if r.CacheSampleEvery > 1 {
+			fmt.Fprintf(&b, " — events sampled 1/%d, counters exact", r.CacheSampleEvery)
+		}
+		b.WriteString("\n")
 	}
 	if r.Retrains > 0 {
 		fmt.Fprintf(&b, "  model trainer        %d training windows", r.Retrains)

@@ -87,6 +87,10 @@ func AppendJSON(dst []byte, ev Event, run string) []byte {
 		dst = appendKV(dst, "depth", ev.A)
 		dst = appendKV(dst, "source", ev.B)
 		dst = appendKV(dst, "wait_ns", ev.C)
+	case KindErase:
+		dst = appendKV(dst, "die", ev.A)
+		dst = appendKV(dst, "block", ev.B)
+		dst = appendKV(dst, "erase_count", ev.C)
 	default:
 		dst = appendKV(dst, "a", ev.A)
 		dst = appendKV(dst, "b", ev.B)
@@ -120,6 +124,12 @@ func AppendSampleJSON(dst []byte, s Sample, run string) []byte {
 	}
 	if !math.IsNaN(s.LatencyP99MS) {
 		dst = appendKVF(dst, "lat_p99_ms", s.LatencyP99MS)
+	}
+	if !math.IsNaN(s.WearSkew) {
+		dst = appendKVF(dst, "wear_skew", s.WearSkew)
+	}
+	if !math.IsNaN(s.WearCoV) {
+		dst = appendKVF(dst, "wear_cov", s.WearCoV)
 	}
 	dst = append(dst, `,"open_fill":[`...)
 	for i, f := range s.OpenFill {
@@ -160,10 +170,13 @@ func WriteJSONL(w io.Writer, run string, events []Event, samples []Sample) error
 // fixed; the JSONL stream retains the full vector. threshold is printed at
 // %.6f — PHFTL's hill-climbing steps can be smaller than 0.001, and the
 // golden-curve differ (internal/golden) must see them, so the CSV keeps
-// enough precision to resolve a single step.
+// enough precision to resolve a single step. New columns (wear_skew,
+// wear_cov) are additive at the end of the row, keeping every pre-existing
+// column at its historical position so checked-in golden baselines stay
+// comparable without regeneration.
 func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean"); err != nil {
+	if _, err := fmt.Fprintln(bw, "clock,interval_wa,cum_wa,free_sb,threshold,cache_hit,queue_depth,lat_p50_ms,lat_p99_ms,open_fill_mean,wear_skew,wear_cov"); err != nil {
 		return err
 	}
 	for _, s := range samples {
@@ -185,9 +198,16 @@ func WriteSamplesCSV(w io.Writer, samples []Sample) error {
 		if !math.IsNaN(s.LatencyP99MS) {
 			p99 = fmt.Sprintf("%.3f", s.LatencyP99MS)
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.6f,%s,%.2f,%s,%s,%.4f\n",
+		skew, cov := "", ""
+		if !math.IsNaN(s.WearSkew) {
+			skew = fmt.Sprintf("%.4f", s.WearSkew)
+		}
+		if !math.IsNaN(s.WearCoV) {
+			cov = fmt.Sprintf("%.4f", s.WearCoV)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%d,%.6f,%s,%.2f,%s,%s,%.4f,%s,%s\n",
 			s.Clock, s.IntervalWA, s.CumWA, s.FreeSB, s.Threshold,
-			hit, s.QueueDepth, p50, p99, fill); err != nil {
+			hit, s.QueueDepth, p50, p99, fill, skew, cov); err != nil {
 			return err
 		}
 	}

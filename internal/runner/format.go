@@ -65,6 +65,13 @@ func Summary(res sim.Result, wear ftl.WearReport, lifetime uint64) string {
 	fmt.Fprintf(&b, "meta page writes       %d\n", s.MetaPageWrites)
 	fmt.Fprintf(&b, "wear                   %d erases (max/block %d, imbalance %.2f)\n",
 		wear.TotalErases, wear.MaxErases, wear.ImbalanceRatio)
+	if len(wear.PerDie) > 0 && wear.TotalErases > 0 {
+		b.WriteString("wear per die          ")
+		for die, e := range wear.PerDie {
+			fmt.Fprintf(&b, " d%d:%d", die, e)
+		}
+		b.WriteString("\n")
+	}
 	if lifetime > 0 {
 		fmt.Fprintf(&b, "endurance estimate     %d user page writes at 3K P/E cycles\n", lifetime)
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/phftl/phftl/internal/sepbit"
 	"github.com/phftl/phftl/internal/trace"
 	"github.com/phftl/phftl/internal/tworegion"
+	"github.com/phftl/phftl/internal/wear"
 	"github.com/phftl/phftl/internal/workload"
 )
 
@@ -69,6 +70,11 @@ type Observation struct {
 	Rec     *obs.TraceRecorder
 	Sampler *obs.Sampler
 
+	// Wear accounts erases by physical coordinate (fed by the device's
+	// erase hook); it backs the sampled wear-skew/CoV gauges and the
+	// end-of-run per-die heatmap. Nil when the instance has no device.
+	Wear *wear.Accountant
+
 	// QueueDepth, when non-nil, supplies the timing model's busy-die count
 	// to samples (set by perfsim.Machine.Observe).
 	QueueDepth func() float64
@@ -82,7 +88,10 @@ type Observation struct {
 
 // ObserveConfig sizes an Observation. Zero values select defaults.
 type ObserveConfig struct {
-	// RingCap is the event-ring capacity (default obs.DefaultRingCapacity).
+	// RingCap, when positive, bounds every per-kind event ring at that
+	// capacity (the deprecated -ring-cap uniform policy). Zero selects
+	// obs.DefaultRingPolicy: lossless rings for rare kinds, bounded sampled
+	// rings for the hot meta-cache kinds.
 	RingCap int
 	// SampleEvery is the sampling interval in user-page writes (default:
 	// 1/64th of the exported capacity, floored at 64 pages).
@@ -102,6 +111,22 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 		}
 	}
 	o := &Observation{Rec: obs.NewTraceRecorder(cfg.RingCap)}
+	if dev := in.FTL.Device(); dev != nil {
+		geo := dev.Geometry()
+		o.Wear = wear.New(geo.Dies, geo.BlocksPerDie)
+		rec, wa := o.Rec, o.Wear
+		dev.SetEraseHook(func(die, blk, count int) {
+			wa.OnErase(die, blk)
+			rec.Record(obs.Event{
+				Kind:  obs.KindErase,
+				Clock: in.FTL.Clock(),
+				SB:    int32(blk),
+				A:     int64(die),
+				B:     int64(blk),
+				C:     int64(count),
+			})
+		})
+	}
 	var prevUser, prevFlash uint64
 	var fillBuf []float64
 	o.Sampler = obs.NewSampler(every, func(clock uint64) obs.Sample {
@@ -120,6 +145,13 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 			// latency fields out of the sinks (same convention as above).
 			LatencyP50MS: math.NaN(),
 			LatencyP99MS: math.NaN(),
+			// NaN until the first erase (and always without wear accounting).
+			WearSkew: math.NaN(),
+			WearCoV:  math.NaN(),
+		}
+		if o.Wear != nil {
+			s.WearSkew = o.Wear.Skew()
+			s.WearCoV = o.Wear.CoV()
 		}
 		prevUser, prevFlash = st.UserPageWrites, st.FlashPageWrites()
 		if in.PHFTL != nil {

@@ -1,0 +1,141 @@
+// Package timeseries holds the tiny rendering primitives the live dashboard
+// (cmd/watop) builds frames from: a fixed-capacity rolling window of float
+// observations, a unicode sparkline, and a horizontal bar. They are plain
+// string builders with no terminal handling, so they test byte-for-byte.
+package timeseries
+
+import (
+	"math"
+	"strings"
+)
+
+// Ring is a rolling window over the last Cap observations of one gauge.
+// The zero value is unusable; make one with NewRing.
+type Ring struct {
+	buf   []float64
+	head  int // next write position
+	count int
+}
+
+// NewRing creates a window holding the most recent cap values (cap < 1 is
+// clamped to 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{buf: make([]float64, cap)}
+}
+
+// Push appends an observation, evicting the oldest once full. NaN values
+// are skipped: the telemetry stream omits not-applicable gauges, and a NaN
+// hole would poison min/max scaling.
+func (r *Ring) Push(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// Len returns the number of held observations.
+func (r *Ring) Len() int { return r.count }
+
+// Last returns the most recent observation, or NaN when empty.
+func (r *Ring) Last() float64 {
+	if r.count == 0 {
+		return math.NaN()
+	}
+	return r.buf[(r.head-1+len(r.buf))%len(r.buf)]
+}
+
+// Values returns the held observations oldest-first in a fresh slice.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, 0, r.count)
+	start := r.head - r.count
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[((start+i)%len(r.buf)+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// sparkLevels are the eight vertical-bar glyphs a sparkline quantizes into.
+var sparkLevels = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// Sparkline renders vals (oldest first) as a fixed-width unicode strip. More
+// values than width keeps the newest; fewer left-pads with spaces so the
+// newest observation always sits at the right edge. Scaling is min..max over
+// the rendered window; a flat window renders mid-level. NaNs render as
+// spaces.
+func Sparkline(vals []float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for i := len(vals); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case hi == lo:
+			b.WriteRune(sparkLevels[len(sparkLevels)/2])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)))
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+			b.WriteRune(sparkLevels[idx])
+		}
+	}
+	return b.String()
+}
+
+// Bar renders v as a horizontal bar of width cells scaled against max:
+// full blocks for the filled fraction, a part-block for the remainder,
+// spaces for the rest. max <= 0 or NaN v renders an empty bar.
+func Bar(v, max float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	var b strings.Builder
+	fill := 0.0
+	if max > 0 && !math.IsNaN(v) && v > 0 {
+		fill = v / max
+		if fill > 1 {
+			fill = 1
+		}
+	}
+	cells := fill * float64(width)
+	full := int(cells)
+	for i := 0; i < full; i++ {
+		b.WriteRune('█')
+	}
+	rest := width - full
+	if frac := cells - float64(full); frac > 0 && rest > 0 {
+		// Part blocks step by eighths: ▏▎▍▌▋▊▉█.
+		idx := int(frac * 8)
+		if idx > 0 {
+			b.WriteRune([]rune{'▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'}[idx-1])
+			rest--
+		}
+	}
+	for i := 0; i < rest; i++ {
+		b.WriteByte(' ')
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestRingWindow(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || !math.IsNaN(r.Last()) {
+		t.Fatalf("empty ring: Len %d, Last %v", r.Len(), r.Last())
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		r.Push(v)
+	}
+	if r.Len() != 3 || r.Last() != 5 {
+		t.Fatalf("Len %d Last %v, want 3/5", r.Len(), r.Last())
+	}
+	got := r.Values()
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingSkipsNaN(t *testing.T) {
+	r := NewRing(4)
+	r.Push(1)
+	r.Push(math.NaN())
+	r.Push(2)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after NaN push, want 2", r.Len())
+	}
+	vals := r.Values()
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", s)
+	}
+	// Newest values stick to the right edge.
+	s = Sparkline([]float64{1, 5}, 4)
+	if utf8.RuneCountInString(s) != 4 || !strings.HasPrefix(s, "  ") {
+		t.Fatalf("padded sparkline = %q", s)
+	}
+	// More values than width keeps the newest window.
+	s = Sparkline([]float64{9, 9, 9, 0, 4, 8}, 3)
+	if s != "▁▅█" {
+		t.Fatalf("truncated sparkline = %q", s)
+	}
+}
+
+func TestSparklineFlatAndEmpty(t *testing.T) {
+	if s := Sparkline([]float64{2, 2, 2}, 3); utf8.RuneCountInString(s) != 3 || strings.ContainsRune(s, ' ') {
+		t.Fatalf("flat sparkline = %q", s)
+	}
+	if s := Sparkline(nil, 5); s != "     " {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{1, math.NaN(), 3}, 3); utf8.RuneCountInString(s) != 3 || []rune(s)[1] != ' ' {
+		t.Fatalf("NaN sparkline = %q", s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(10, 10, 4); b != "████" {
+		t.Fatalf("full bar = %q", b)
+	}
+	if b := Bar(5, 10, 4); b != "██  " {
+		t.Fatalf("half bar = %q", b)
+	}
+	if b := Bar(0, 10, 4); b != "    " {
+		t.Fatalf("zero bar = %q", b)
+	}
+	if b := Bar(math.NaN(), 10, 4); b != "    " {
+		t.Fatalf("NaN bar = %q", b)
+	}
+	if b := Bar(20, 10, 4); b != "████" {
+		t.Fatalf("overflow bar = %q", b)
+	}
+	// A fraction renders a part block; width in cells stays fixed.
+	b := Bar(1, 16, 4)
+	if utf8.RuneCountInString(b) != 4 {
+		t.Fatalf("fractional bar = %q (%d cells)", b, utf8.RuneCountInString(b))
+	}
+	if b[0] == ' ' {
+		t.Fatalf("fractional bar shows nothing: %q", b)
+	}
+}

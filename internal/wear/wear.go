@@ -1,0 +1,204 @@
+// Package wear is the erase-coordinate accounting layer of the
+// observability stack: it consumes block-erase notifications (the
+// internal/nand erase hook) and maintains per-die and per-block erase
+// counters plus the wear-evenness gauges the sampler snapshots — the
+// max/mean skew ratio and the coefficient of variation of the per-block
+// erase distribution. PHFTL's lifetime-class separation exists to even out
+// where erases land; this package is what makes "where" observable: the
+// gauges become telemetry columns, and Heatmap renders the end-of-run
+// per-die wear picture for -report output.
+//
+// Unlike ftl.Wear (an end-of-run device scan), an Accountant is
+// incremental: every counter is O(1) per erase, so the gauges are cheap
+// enough to sample on the virtual-clock cadence mid-run.
+package wear
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Accountant tallies erases by physical coordinate. It is not safe for
+// concurrent use; the simulator serializes device operations.
+type Accountant struct {
+	dies         int
+	blocksPerDie int
+
+	blocks    []uint32 // per-block erase counts, die-major
+	dieTotals []uint64
+	total     uint64
+	maxBlock  uint32 // running max over blocks
+	// sum of squares over per-block counts, maintained incrementally so CoV
+	// is O(1): incrementing a count c to c+1 adds 2c+1.
+	sumSq float64
+}
+
+// New creates an accountant for a device with the given die/block layout.
+func New(dies, blocksPerDie int) *Accountant {
+	if dies < 1 {
+		dies = 1
+	}
+	if blocksPerDie < 1 {
+		blocksPerDie = 1
+	}
+	return &Accountant{
+		dies:         dies,
+		blocksPerDie: blocksPerDie,
+		blocks:       make([]uint32, dies*blocksPerDie),
+		dieTotals:    make([]uint64, dies),
+	}
+}
+
+// Dies returns the die count.
+func (a *Accountant) Dies() int { return a.dies }
+
+// BlocksPerDie returns the block count per die.
+func (a *Accountant) BlocksPerDie() int { return a.blocksPerDie }
+
+// OnErase records one block erase. Out-of-range coordinates are ignored
+// (the device validates them before erasing).
+func (a *Accountant) OnErase(die, blk int) {
+	if die < 0 || die >= a.dies || blk < 0 || blk >= a.blocksPerDie {
+		return
+	}
+	i := die*a.blocksPerDie + blk
+	c := a.blocks[i]
+	a.sumSq += float64(2*c + 1)
+	c++
+	a.blocks[i] = c
+	if c > a.maxBlock {
+		a.maxBlock = c
+	}
+	a.dieTotals[die]++
+	a.total++
+}
+
+// Total returns the device-wide erase count.
+func (a *Accountant) Total() uint64 { return a.total }
+
+// DieTotal returns one die's erase count; out-of-range dies return 0.
+func (a *Accountant) DieTotal(die int) uint64 {
+	if die < 0 || die >= a.dies {
+		return 0
+	}
+	return a.dieTotals[die]
+}
+
+// BlockCount returns one block's erase count; out-of-range coordinates
+// return 0.
+func (a *Accountant) BlockCount(die, blk int) uint32 {
+	if die < 0 || die >= a.dies || blk < 0 || blk >= a.blocksPerDie {
+		return 0
+	}
+	return a.blocks[die*a.blocksPerDie+blk]
+}
+
+// Skew returns the max/mean ratio of the per-block erase distribution
+// (1.0 = perfectly even wear; the same quantity as ftl.WearReport's
+// ImbalanceRatio, maintained incrementally). NaN before the first erase,
+// matching the sinks' "gauge not applicable" convention.
+func (a *Accountant) Skew() float64 {
+	if a.total == 0 {
+		return math.NaN()
+	}
+	mean := float64(a.total) / float64(len(a.blocks))
+	return float64(a.maxBlock) / mean
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of the per-block
+// erase distribution; 0 = perfectly even. NaN before the first erase.
+func (a *Accountant) CoV() float64 {
+	if a.total == 0 {
+		return math.NaN()
+	}
+	n := float64(len(a.blocks))
+	mean := float64(a.total) / n
+	variance := a.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // float cancellation on perfectly even distributions
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// heatShades maps a bucket's relative wear (vs the hottest bucket) to a
+// display rune: space = untouched, then eight density steps.
+var heatShades = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// shade renders one heat cell for a mean erase count relative to the
+// global maximum bucket mean.
+func shade(v, max float64) rune {
+	if v <= 0 {
+		return ' '
+	}
+	idx := int(v / max * float64(len(heatShades)))
+	if idx >= len(heatShades) {
+		idx = len(heatShades) - 1
+	}
+	return heatShades[idx]
+}
+
+// Heatmap renders the per-die wear picture as aligned text: one row per
+// die with its erase total, per-block min/mean/max, and a heat strip of at
+// most width cells (each cell aggregates a contiguous run of blocks,
+// shaded relative to the hottest cell across all dies). width < 8 is
+// clamped to 8.
+func (a *Accountant) Heatmap(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if width > a.blocksPerDie {
+		width = a.blocksPerDie
+	}
+	// Bucket every die first so shading is relative to the global maximum.
+	buckets := make([][]float64, a.dies)
+	globalMax := 0.0
+	for die := 0; die < a.dies; die++ {
+		buckets[die] = make([]float64, width)
+		for cell := 0; cell < width; cell++ {
+			lo := cell * a.blocksPerDie / width
+			hi := (cell + 1) * a.blocksPerDie / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for blk := lo; blk < hi; blk++ {
+				sum += float64(a.blocks[die*a.blocksPerDie+blk])
+			}
+			v := sum / float64(hi-lo)
+			buckets[die][cell] = v
+			if v > globalMax {
+				globalMax = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-die wear heatmap (%d erases over %d dies x %d blocks", a.total, a.dies, a.blocksPerDie)
+	if a.total > 0 {
+		fmt.Fprintf(&b, "; skew %.3f, cov %.3f", a.Skew(), a.CoV())
+	}
+	b.WriteString(")\n")
+	for die := 0; die < a.dies; die++ {
+		minC, maxC := a.blocks[die*a.blocksPerDie], uint32(0)
+		for blk := 0; blk < a.blocksPerDie; blk++ {
+			c := a.blocks[die*a.blocksPerDie+blk]
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		mean := float64(a.dieTotals[die]) / float64(a.blocksPerDie)
+		fmt.Fprintf(&b, "  die %-2d %8d erases  blk min %d mean %.1f max %d  ", die, a.dieTotals[die], minC, mean, maxC)
+		if globalMax > 0 {
+			b.WriteString("|")
+			for _, v := range buckets[die] {
+				b.WriteRune(shade(v, globalMax))
+			}
+			b.WriteString("|")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package wear
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/phftl/phftl/internal/nand"
+)
+
+func TestCountersMatchDeviceGroundTruth(t *testing.T) {
+	// Drive a real nand.Device through randomized program/erase churn and
+	// check the accountant (fed by the erase hook) agrees with the device's
+	// own counters at every level: total, per-die, per-block.
+	geo := nand.Geometry{PageSize: 512, OOBSize: 16, PagesPerBlock: 16, BlocksPerDie: 8, Dies: 4}
+	dev := nand.MustNewDevice(geo)
+	acct := New(geo.Dies, geo.BlocksPerDie)
+	dev.SetEraseHook(func(die, blk, count int) {
+		acct.OnErase(die, blk)
+		if got := acct.BlockCount(die, blk); int(got) != count {
+			t.Fatalf("hook count mismatch at die %d blk %d: accountant %d, device %d", die, blk, got, count)
+		}
+	})
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		die := rng.Intn(geo.Dies)
+		blk := rng.Intn(geo.BlocksPerDie)
+		if err := dev.EraseBlock(die, blk); err != nil {
+			t.Fatalf("EraseBlock(%d,%d): %v", die, blk, err)
+		}
+	}
+
+	if acct.Total() != dev.Stats().Erases {
+		t.Fatalf("total: accountant %d, device %d", acct.Total(), dev.Stats().Erases)
+	}
+	var dieSum uint64
+	for die := 0; die < geo.Dies; die++ {
+		devDie, err := dev.DieEraseCount(die)
+		if err != nil {
+			t.Fatalf("DieEraseCount(%d): %v", die, err)
+		}
+		if acct.DieTotal(die) != devDie {
+			t.Fatalf("die %d: accountant %d, device %d", die, acct.DieTotal(die), devDie)
+		}
+		dieSum += devDie
+		var blkSum uint64
+		for blk := 0; blk < geo.BlocksPerDie; blk++ {
+			blkSum += uint64(acct.BlockCount(die, blk))
+		}
+		if blkSum != acct.DieTotal(die) {
+			t.Fatalf("die %d: block sum %d != die total %d", die, blkSum, acct.DieTotal(die))
+		}
+	}
+	if dieSum != dev.Stats().Erases {
+		t.Fatalf("die sum %d != device total %d", dieSum, dev.Stats().Erases)
+	}
+}
+
+func TestSkewAndCoV(t *testing.T) {
+	a := New(2, 2) // 4 blocks
+	if !math.IsNaN(a.Skew()) || !math.IsNaN(a.CoV()) {
+		t.Fatalf("expected NaN gauges before first erase, got skew %v cov %v", a.Skew(), a.CoV())
+	}
+
+	// Perfectly even: one erase per block → skew 1, cov 0.
+	for die := 0; die < 2; die++ {
+		for blk := 0; blk < 2; blk++ {
+			a.OnErase(die, blk)
+		}
+	}
+	if got := a.Skew(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("even skew = %v, want 1", got)
+	}
+	if got := a.CoV(); math.Abs(got) > 1e-9 {
+		t.Fatalf("even cov = %v, want 0", got)
+	}
+
+	// Skewed: counts become [3,1,1,1]. mean = 1.5, max = 3 → skew 2.
+	a.OnErase(0, 0)
+	a.OnErase(0, 0)
+	if got := a.Skew(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("skew = %v, want 2", got)
+	}
+	// variance = mean(x²) − mean² = (9+1+1+1)/4 − 2.25 = 0.75; cov = √0.75/1.5.
+	want := math.Sqrt(0.75) / 1.5
+	if got := a.CoV(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cov = %v, want %v", got, want)
+	}
+}
+
+func TestOnEraseIgnoresOutOfRange(t *testing.T) {
+	a := New(2, 3)
+	for _, c := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 3}} {
+		a.OnErase(c[0], c[1])
+	}
+	if a.Total() != 0 {
+		t.Fatalf("out-of-range erases counted: total %d", a.Total())
+	}
+}
+
+func TestHeatmapTotalsAndShape(t *testing.T) {
+	a := New(3, 32)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a.OnErase(rng.Intn(3), rng.Intn(32))
+	}
+	out := a.Heatmap(16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("heatmap has %d lines, want header + 3 die rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "300 erases over 3 dies x 32 blocks") {
+		t.Fatalf("header missing totals: %q", lines[0])
+	}
+	for die := 0; die < 3; die++ {
+		row := lines[1+die]
+		if !strings.Contains(row, "erases") {
+			t.Fatalf("die row %d malformed: %q", die, row)
+		}
+		// The strip renders between the two pipes with exactly width cells.
+		first := strings.IndexByte(row, '|')
+		last := strings.LastIndexByte(row, '|')
+		if first < 0 || last <= first {
+			t.Fatalf("die row %d missing heat strip: %q", die, row)
+		}
+		if cells := len([]rune(row[first+1 : last])); cells != 16 {
+			t.Fatalf("die row %d strip has %d cells, want 16: %q", die, cells, row)
+		}
+	}
+}
+
+func TestHeatmapClampsWidth(t *testing.T) {
+	a := New(1, 4)
+	a.OnErase(0, 0)
+	out := a.Heatmap(64) // wider than blocksPerDie → clamps to 4 cells
+	first := strings.IndexByte(out, '|')
+	last := strings.LastIndexByte(out, '|')
+	if cells := len([]rune(out[first+1 : last])); cells != 4 {
+		t.Fatalf("strip has %d cells, want 4:\n%s", cells, out)
+	}
+}
