@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp smoke watop-smoke golden golden-check
+.PHONY: check vet build test race fmt bench benchcmp smoke watop-smoke opsweep-smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke watop-smoke golden-check
+check: vet build race fmt smoke watop-smoke opsweep-smoke golden-check
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,13 @@ smoke:
 	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52,#144" -parallel 2 \
 		-csv /tmp/wabench-smoke.csv -telemetry /tmp/wabench-smoke.jsonl
 
+## opsweep-smoke: one small overprovisioning sweep cell under -race — proves
+## the -op-sweep path (GeometryForDriveOP/BuildOP and the sweep table) end
+## to end and that Base WA decreases with the spare factor.
+opsweep-smoke:
+	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52" -schemes "Base" \
+		-op-sweep "0.07,0.15,0.28"
+
 ## watop-smoke: a short phftlsim -telemetry run fed into the live dashboard
 ## in -once mode under -race — proves the erase/sample stream renders a
 ## frame end to end (and fails loudly if the JSONL field names drift from
@@ -39,7 +46,9 @@ watop-smoke:
 ## late-run WA fails CI even when the end-of-run scalar looks fine.
 ## Regenerate with `make golden` ONLY after an intentional behavioural
 ## change, and commit the new baselines with the change that caused them.
-GOLDEN_TRACES := \#52,\#144,\#326
+## #52T is the trim-enabled twin of #52: its baseline pins the TRIM path
+## (workload discard generation through FTL.Trim) against curve regressions.
+GOLDEN_TRACES := \#52,\#144,\#326,\#52T
 GOLDEN_DW := 4
 GOLDEN_DIR := testdata/golden
 GOLDEN_TMP := /tmp/phftl-golden-check

@@ -107,8 +107,8 @@ func main() {
 			fatal(rerr)
 		}
 		st := trace.Summarize(records)
-		fmt.Printf("csv trace %s: %d writes (%d MB), %d reads, scheme %s\n",
-			*csvPath, st.Writes, st.WriteBytes>>20, st.Reads, scheme)
+		fmt.Printf("csv trace %s: %d writes (%d MB), %d reads, %d trims, scheme %s\n",
+			*csvPath, st.Writes, st.WriteBytes>>20, st.Reads, st.Trims, scheme)
 		geo := sim.GeometryForDrive(*pages, *pageSize)
 		in, err = sim.Build(scheme, geo, nil)
 		if err != nil {

@@ -13,6 +13,7 @@
 //	wabench [-dw 20] [-traces "#52,#144"] [-schemes "Base,PHFTL"] [-parallel 8] [-csv out.csv]
 //	wabench -traces "#52" -telemetry out.jsonl -cpuprofile cpu.pb.gz
 //	wabench -dw 2 -traces "#52,#144" -schemes "Base,PHFTL" -telemetry-csv testdata/golden
+//	wabench -dw 4 -traces "#52" -op-sweep "0.07,0.15,0.28"
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
 	telemetryCSV := flag.String("telemetry-csv", "", "write each cell's sample time series as <trace>_<scheme>.csv into this directory (created if missing); the golden-curve harness consumes this format")
 	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound every per-cell per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot kinds sampled); overflow drops oldest events with a stderr warning")
+	opSweep := flag.String("op-sweep", "", "comma-separated overprovisioning ratios (e.g. \"0.07,0.15,0.28\"): replay each trace×scheme cell once per ratio and report WA vs OP instead of the Figure 5 table")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -76,6 +78,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if *opSweep != "" {
+		ops, err := parseOPs(*opSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *telemetryCSV != "" {
+			fmt.Fprintln(os.Stderr, "-telemetry-csv is not supported with -op-sweep (cell file names do not encode the OP ratio)")
+			os.Exit(1)
+		}
+		code := runOPSweep(profiles, schemes, ops, *driveWrites, *parallel, *csvPath, telemetryF, *ringCap)
+		if telemetryF != nil {
+			if err := telemetryF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 1
+			}
+		}
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+		os.Exit(code)
 	}
 
 	byID := make(map[string]workload.Profile, len(profiles))

@@ -237,6 +237,21 @@ func (m *MetaStore) Get(ppn nand.PPN) (Entry, error) {
 	return DecodeEntry(page[idx:]), nil
 }
 
+// Invalidate clears the metadata entry of the data page at ppn (the page was
+// discarded). Only entries in a still-open superblock's RAM buffer need
+// zeroing: once the superblock seals, the entry is reachable only through the
+// L2P mapping the FTL clears alongside this call, and the sealed flash copy
+// disappears wholesale when GC erases the superblock.
+func (m *MetaStore) Invalidate(ppn nand.PPN) {
+	if ppn == nand.InvalidPPN {
+		return
+	}
+	sb := m.geo.SuperblockOf(ppn)
+	if buf, ok := m.openBufs[sb]; ok {
+		buf[m.geo.SuperblockOffset(ppn)] = Entry{}
+	}
+}
+
 // metaPage returns the cached contents of a meta page. The returned slice is
 // owned by the cache and only valid until the entry is evicted or dropped;
 // callers decode out of it immediately.

@@ -60,6 +60,10 @@ type Options struct {
 	Quantize bool
 	// Seed drives every random choice (init, shuffles, reservoir).
 	Seed int64
+	// OPRatio, when positive, overrides the FTL overprovisioning ratio in
+	// Build (0 keeps ftl.DefaultConfig's value, the paper's 7%). OP sweeps
+	// use it to re-derive the exported capacity per spare factor.
+	OPRatio float64
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -261,6 +265,9 @@ func BuildWithDevice(dev *nand.Device, geo nand.Geometry, opts Options) (*ftl.FT
 	cfg := ftl.DefaultConfig(geo)
 	cfg.MetaPagesPerSB = metaPages
 	cfg.MaxGCClass = opts.GCStreams
+	if opts.OPRatio > 0 {
+		cfg.OPRatio = opts.OPRatio
+	}
 	exported := int(float64(geo.Superblocks()*dataPages) / (1 + cfg.OPRatio))
 	p, err := New(geo, exported, opts)
 	if err != nil {
@@ -507,6 +514,39 @@ func (p *PHFTL) OnPagePlaced(_ nand.LPN, ppn nand.PPN, _ bool) {
 		p.meta.Put(ppn, p.pendingEntry)
 		p.pendingValid = false
 	}
+}
+
+// OnTrim implements ftl.TrimAware. A discard is a ground-truth invalidation:
+// the trimmed write's lifetime resolves now (the trim counts as the LPN's
+// next virtual write, matching trace.AnnotateLifetimes), so the trainer
+// harvests the example and scores any outstanding prediction instead of
+// leaving both dangling forever. The entry in the metadata store is zeroed
+// and the host-side history reset, so a later reincarnation of the LPN
+// cold-starts like a never-written page rather than inheriting the dead
+// file's hidden state.
+func (p *PHFTL) OnTrim(lpn nand.LPN, oldPPN nand.PPN, clock uint64) {
+	l := uint32(lpn)
+	now := clock + 1
+	if hl := uint64(p.hostLast[l]); hl > 0 {
+		life := float64(now - hl)
+		if p.pred[l] != predNone {
+			p.confusion.Add(p.pred[l] == predShort, life < p.predThresh[l])
+			if p.OnResolve != nil {
+				p.OnResolve(lpn, p.pred[l] == predShort, life, p.predThresh[l])
+			}
+			p.pred[l] = predNone
+		}
+		if hl >= p.windowStart {
+			p.lifetimes = append(p.lifetimes, life)
+		}
+		p.addExample(example{
+			seq:      p.snapshotSeq(l),
+			lifetime: life,
+		})
+	}
+	p.hostLast[l] = 0
+	p.rings[l].n = 0
+	p.meta.Invalidate(oldPPN)
 }
 
 // OnUserRead implements ftl.Separator.

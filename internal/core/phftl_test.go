@@ -372,3 +372,91 @@ func TestPHFTLModelVariants(t *testing.T) {
 		t.Error("unknown model accepted")
 	}
 }
+
+// PHFTL must opt in to trim notifications.
+var _ ftl.TrimAware = (*PHFTL)(nil)
+
+func TestPHFTLOnTrimResolvesAndResets(t *testing.T) {
+	f, p, err := Build(phftlGeo(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writes then a trim: the trim must resolve the second version's
+	// lifetime, reset the host history, and zero the open-buffer metadata.
+	if err := f.Write(ftl.UserWrite{LPN: 9, ReqPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(ftl.UserWrite{LPN: 9, ReqPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ppn := f.MappedPPN(9)
+	if p.hostLast[9] == 0 {
+		t.Fatal("hostLast not set by writes")
+	}
+	examplesBefore := len(p.examples)
+	if err := f.Trim(9); err != nil {
+		t.Fatal(err)
+	}
+	if p.hostLast[9] != 0 {
+		t.Error("hostLast not reset by trim")
+	}
+	if p.rings[9].n != 0 {
+		t.Error("feature ring not reset by trim")
+	}
+	if len(p.examples) != examplesBefore+1 {
+		t.Errorf("examples = %d, want %d (trim harvests the pending write)", len(p.examples), examplesBefore+1)
+	}
+	ent, err := p.meta.Get(ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent != (Entry{}) {
+		t.Errorf("metadata entry not invalidated: %+v", ent)
+	}
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+}
+
+// TestPHFTLTrimChurn exercises the full pipeline (training, prediction
+// resolution via trims, metastore invalidation across sealed/open
+// superblocks) under randomized write/trim churn.
+func TestPHFTLTrimChurn(t *testing.T) {
+	f, p, err := Build(phftlGeo(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := f.ExportedPages()
+	rng := rand.New(rand.NewSource(3))
+	for lpn := 0; lpn < exported; lpn++ {
+		if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := exported / 20
+	for i := 0; i < 4*exported; i++ {
+		lpn := nand.LPN(rng.Intn(hot))
+		if rng.Intn(8) == 0 {
+			lpn = nand.LPN(hot + rng.Intn(exported-hot))
+		}
+		if rng.Intn(6) == 0 {
+			if err := f.Trim(lpn); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := f.Write(ftl.UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("PHFTL internal error: %v", err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if f.Stats().Trims == 0 {
+		t.Fatal("no trims issued")
+	}
+	if p.Stats().Deploys == 0 {
+		t.Error("model never deployed under trim churn")
+	}
+}

@@ -108,10 +108,11 @@ var (
 // FTL is the flash translation layer engine. It is not safe for concurrent
 // use.
 type FTL struct {
-	cfg    Config
-	dev    *nand.Device
-	sep    Separator
-	policy VictimPolicy
+	cfg     Config
+	dev     *nand.Device
+	sep     Separator
+	trimSep TrimAware // sep's TrimAware view, nil if not implemented
+	policy  VictimPolicy
 
 	l2p       []nand.PPN
 	sbs       []superblock
@@ -189,6 +190,7 @@ func NewWithDevice(cfg Config, dev *nand.Device, sep Separator, policy VictimPol
 		dataPages: dataPages,
 		exported:  exported,
 	}
+	f.trimSep, _ = sep.(TrimAware)
 	for i := range f.l2p {
 		f.l2p[i] = nand.InvalidPPN
 	}
@@ -408,13 +410,19 @@ func (f *FTL) Read(lpn nand.LPN, reqPages int) error {
 	return nil
 }
 
-// Trim invalidates an LPN (e.g. a discard command).
+// Trim invalidates an LPN (e.g. a discard command). Trims of unmapped LPNs
+// are no-ops. The separator's TrimAware hook (if any) fires before the page
+// is invalidated, so the scheme can still resolve metadata addressed by the
+// old physical location.
 func (f *FTL) Trim(lpn nand.LPN) error {
 	if int(lpn) >= f.exported {
 		return fmt.Errorf("%w: %d >= %d", ErrLPNRange, lpn, f.exported)
 	}
 	if f.l2p[lpn] == nand.InvalidPPN {
 		return nil
+	}
+	if f.trimSep != nil {
+		f.trimSep.OnTrim(lpn, f.l2p[lpn], f.clock)
 	}
 	f.invalidateOld(lpn)
 	f.l2p[lpn] = nand.InvalidPPN

@@ -433,3 +433,90 @@ func (s *nStreamSep) PlaceUserWrite(UserWrite, uint64) (int, []byte) { return 0,
 func (s *nStreamSep) PlaceGCWrite(nand.LPN, []byte, int, uint64) (int, []byte) {
 	return 0, nil
 }
+
+// trimSpySep records TrimAware callbacks for assertion.
+type trimSpySep struct {
+	BaseSeparator
+	trims []struct {
+		lpn   nand.LPN
+		ppn   nand.PPN
+		clock uint64
+	}
+}
+
+func (s *trimSpySep) OnTrim(lpn nand.LPN, oldPPN nand.PPN, clock uint64) {
+	s.trims = append(s.trims, struct {
+		lpn   nand.LPN
+		ppn   nand.PPN
+		clock uint64
+	}{lpn, oldPPN, clock})
+}
+
+func TestTrimAwareHookSeesOldPPN(t *testing.T) {
+	sep := &trimSpySep{}
+	f, err := New(DefaultConfig(smallGeo()), sep, GreedyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(UserWrite{LPN: 3, ReqPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := f.MappedPPN(3)
+	if err := f.Trim(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(sep.trims) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(sep.trims))
+	}
+	got := sep.trims[0]
+	if got.lpn != 3 || got.ppn != want || got.clock != 1 {
+		t.Errorf("hook got (lpn=%d ppn=%d clock=%d), want (3, %d, 1)", got.lpn, got.ppn, got.clock, want)
+	}
+	// Trimming an unmapped LPN must not re-fire the hook.
+	if err := f.Trim(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(sep.trims) != 1 {
+		t.Errorf("hook fired on unmapped trim")
+	}
+}
+
+// TestTrimChurnInvariants drives randomized write/trim churn hard enough to
+// force GC and verifies the victim index, valid counts, and L2P mapping stay
+// consistent — trims must decrement valid counts exactly like overwrites.
+func TestTrimChurnInvariants(t *testing.T) {
+	f := newBaseFTL(t)
+	rng := rand.New(rand.NewSource(7))
+	exported := f.ExportedPages()
+	mapped := make(map[nand.LPN]bool)
+	var issued uint64
+	for i := 0; i < 6*exported; i++ {
+		lpn := nand.LPN(rng.Intn(exported))
+		if rng.Intn(4) == 0 { // 25% trims
+			wasMapped := f.MappedPPN(lpn) != nand.InvalidPPN
+			if err := f.Trim(lpn); err != nil {
+				t.Fatal(err)
+			}
+			if wasMapped {
+				issued++
+			}
+			delete(mapped, lpn)
+		} else {
+			if err := f.Write(UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+				t.Fatal(err)
+			}
+			mapped[lpn] = true
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+	if f.Stats().Trims != issued {
+		t.Errorf("Stats.Trims = %d, want %d (mapped trims issued)", f.Stats().Trims, issued)
+	}
+	for lpn := range mapped {
+		if f.MappedPPN(lpn) == nand.InvalidPPN {
+			t.Fatalf("lpn %d lost its mapping", lpn)
+		}
+	}
+}

@@ -73,6 +73,18 @@ type Separator interface {
 	OnSuperblockErased(sb int)
 }
 
+// TrimAware is an optional Separator extension: schemes that keep per-page
+// lifetime state implement it to observe host discards. OnTrim is invoked
+// for every trim of a *mapped* LPN, before the FTL invalidates the page:
+// oldPPN is the page's physical location at that moment (so schemes with
+// flash-resident metadata can invalidate the matching entry), and clock is
+// the user-page-write virtual clock. A trim is a ground-truth invalidation —
+// the page's lifetime resolves at the trim, exactly like an overwrite,
+// except no new version is created.
+type TrimAware interface {
+	OnTrim(lpn nand.LPN, oldPPN nand.PPN, clock uint64)
+}
+
 // NopSeparator provides no-op implementations of the optional Separator
 // callbacks; scheme implementations embed it and override what they need.
 type NopSeparator struct{}

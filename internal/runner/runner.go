@@ -30,11 +30,23 @@ import (
 type Cell struct {
 	Trace  string
 	Scheme sim.Scheme
+
+	// OP, when positive, marks an overprovisioning-sweep cell built at that
+	// spare ratio instead of the default 7% (wabench -op-sweep). It feeds
+	// run tagging only; the harness maps it to GeometryForDriveOP/BuildOP.
+	OP float64
 }
 
 // RunTag returns the "trace/scheme" tag used for telemetry lines and error
-// reports, matching the serial harnesses' historical tagging.
-func (c Cell) RunTag() string { return c.Trace + "/" + string(c.Scheme) }
+// reports, matching the serial harnesses' historical tagging. OP-sweep cells
+// append "@op<ratio>" so each sweep point is distinguishable in telemetry.
+func (c Cell) RunTag() string {
+	tag := c.Trace + "/" + string(c.Scheme)
+	if c.OP > 0 {
+		tag += fmt.Sprintf("@op%g", c.OP)
+	}
+	return tag
+}
 
 // Output is what one cell produces. Events and Samples are the cell's own
 // buffered telemetry (nil when the cell did not observe); Dropped counts
@@ -223,7 +235,7 @@ func ParseTraces(flagVal string) ([]workload.Profile, error) {
 		id := strings.TrimSpace(f)
 		p, ok := workload.ProfileByID(id)
 		if !ok {
-			all := workload.Profiles()
+			all := append(workload.Profiles(), workload.TrimProfiles()...)
 			names := make([]string, len(all))
 			for i, q := range all {
 				names[i] = q.ID

@@ -298,3 +298,32 @@ func TestCellCSVName(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTagOPSuffix(t *testing.T) {
+	c := Cell{Trace: "#52", Scheme: sim.SchemeBase}
+	if got := c.RunTag(); got != "#52/Base" {
+		t.Errorf("RunTag = %q", got)
+	}
+	c.OP = 0.15
+	if got := c.RunTag(); got != "#52/Base@op0.15" {
+		t.Errorf("RunTag = %q", got)
+	}
+}
+
+func TestParseTracesTrimTwins(t *testing.T) {
+	ps, err := ParseTraces("#52T,#144T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].ID != "#52T" || ps[1].ID != "#144T" {
+		t.Fatalf("parsed %+v", ps)
+	}
+	if ps[0].TrimFrac <= 0 {
+		t.Error("twin lost its trim knobs")
+	}
+	if _, err := ParseTraces("#nope"); err == nil {
+		t.Error("unknown trace accepted")
+	} else if !strings.Contains(err.Error(), "#52T") {
+		t.Errorf("error %v does not list trim twins", err)
+	}
+}

@@ -97,6 +97,26 @@ func (s *Separator) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) 
 	return streamUserLong, nil
 }
 
+// OnTrim implements ftl.TrimAware: a discard ends the page's current version,
+// so its lifespan (trim acting as the next write) feeds the same EWMA an
+// overwrite would, and the last-write record is cleared so the LPN's next
+// write is treated as a first write instead of inheriting the dead file's
+// timing.
+func (s *Separator) OnTrim(lpn nand.LPN, _ nand.PPN, clock uint64) {
+	prev := s.lastWrite[lpn]
+	s.lastWrite[lpn] = 0
+	if prev == 0 {
+		return
+	}
+	lifespan := float64(clock + 1 - prev)
+	if s.seeded {
+		s.avgLife += ewmaAlpha * (lifespan - s.avgLife)
+	} else {
+		s.avgLife = lifespan
+		s.seeded = true
+	}
+}
+
 // PlaceGCWrite implements ftl.Separator: band GC survivors by age.
 func (s *Separator) PlaceGCWrite(lpn nand.LPN, _ []byte, _ int, clock uint64) (int, []byte) {
 	prev := s.lastWrite[lpn]

@@ -147,3 +147,31 @@ func TestSepBITBeatsBaseOnSkewedWorkload(t *testing.T) {
 		t.Fatalf("SepBIT WA %.3f >= Base WA %.3f", waSepBIT, waBase)
 	}
 }
+
+// SepBIT must opt in to trim notifications.
+var _ ftl.TrimAware = (*Separator)(nil)
+
+func TestOnTrimFeedsEWMAAndClearsHistory(t *testing.T) {
+	s := New(64)
+	s.PlaceUserWrite(ftl.UserWrite{LPN: 5}, 0) // first write at clock 0
+	s.OnTrim(5, 0, 10)                         // trimmed 10 writes later
+	if !s.seeded {
+		t.Fatal("trim lifespan did not seed the EWMA")
+	}
+	if s.avgLife != 10 {
+		t.Errorf("avgLife = %v, want 10 (trim acts as the next write)", s.avgLife)
+	}
+	if s.lastWrite[5] != 0 {
+		t.Error("lastWrite not cleared by trim")
+	}
+	// The next write of the trimmed LPN is a first write again: long stream.
+	if stream, _ := s.PlaceUserWrite(ftl.UserWrite{LPN: 5}, 20); stream != streamUserLong {
+		t.Errorf("post-trim write stream = %d, want long (%d)", stream, streamUserLong)
+	}
+	// Trimming a never-written LPN is a no-op.
+	before := s.avgLife
+	s.OnTrim(7, 0, 30)
+	if s.avgLife != before {
+		t.Error("trim of never-written LPN moved the EWMA")
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"github.com/phftl/phftl/internal/core"
@@ -44,14 +45,27 @@ const phftlStreams = 7
 // GeometryForDrive sizes a device for a scaled drive: 4 dies, ~128-page
 // superblocks, 7% OP, and enough superblocks for PHFTL's GC reserve.
 func GeometryForDrive(exportedPages, pageSize int) nand.Geometry {
+	return GeometryForDriveOP(exportedPages, pageSize, 0.07)
+}
+
+// GeometryForDriveOP is GeometryForDrive at an arbitrary overprovisioning
+// ratio, for OP sweeps. The superblock-count target uses integer basis-point
+// arithmetic so the default 7% sizing is bit-identical to what the fixed
+// GeometryForDrive always produced.
+func GeometryForDriveOP(exportedPages, pageSize int, opRatio float64) nand.Geometry {
 	dies := 4
-	targetSBs := (exportedPages*107/100)/(dies*32) + 1
+	opBP := int(opRatio*10000 + 0.5)
+	targetSBs := (exportedPages*(10000+opBP)/10000)/(dies*32) + 1
 	if targetSBs < 320 {
-		// Small drives need many (small) superblocks: the 7% OP spare must
+		// Small drives need many (small) superblocks: the OP spare must
 		// fund the GC floor plus garbage headroom in whole superblocks.
-		targetSBs = 320
+		// The floor scales with the requested OP (320 at the default 7%):
+		// with a fixed floor, small-drive physical capacity would quantize
+		// so coarsely that different OP ratios collapse onto the same
+		// geometry and an OP sweep would measure nothing.
+		targetSBs = 320 * (10000 + opBP) / 10700
 	}
-	return ftl.GeometryFor(exportedPages, 0.07, 1, phftlStreams, dies, targetSBs, pageSize, 64)
+	return ftl.GeometryFor(exportedPages, opRatio, 1, phftlStreams, dies, targetSBs, pageSize, 64)
 }
 
 // Instance is one scheme instantiated over a device.
@@ -183,11 +197,25 @@ func Build(scheme Scheme, geo nand.Geometry, opts *core.Options) (*Instance, err
 	return BuildWithDevice(scheme, nil, geo, opts)
 }
 
+// BuildOP is Build at an explicit overprovisioning ratio (0 keeps the
+// DefaultConfig value), for OP sweeps. The geometry should come from
+// GeometryForDriveOP at the same ratio so the spare actually exists.
+func BuildOP(scheme Scheme, geo nand.Geometry, opRatio float64, opts *core.Options) (*Instance, error) {
+	return buildWithDevice(scheme, nil, geo, opRatio, opts)
+}
+
 // BuildWithDevice is Build over a caller-supplied fresh device, letting
 // timing models install device hooks first. With a non-nil device, host
 // reads are charged as flash reads. A nil device allocates one.
 func BuildWithDevice(scheme Scheme, dev *nand.Device, geo nand.Geometry, opts *core.Options) (*Instance, error) {
+	return buildWithDevice(scheme, dev, geo, 0, opts)
+}
+
+func buildWithDevice(scheme Scheme, dev *nand.Device, geo nand.Geometry, opRatio float64, opts *core.Options) (*Instance, error) {
 	cfg := ftl.DefaultConfig(geo)
+	if opRatio > 0 {
+		cfg.OPRatio = opRatio
+	}
 	newFTL := func(sep ftl.Separator) (*ftl.FTL, error) {
 		if dev == nil {
 			return ftl.New(cfg, sep, ftl.CostBenefitPolicy{})
@@ -200,6 +228,9 @@ func BuildWithDevice(scheme Scheme, dev *nand.Device, geo nand.Geometry, opts *c
 		o := core.DefaultOptions()
 		if opts != nil {
 			o = *opts
+		}
+		if opRatio > 0 {
+			o.OPRatio = opRatio
 		}
 		f, p, err := core.BuildWithDevice(dev, geo, o)
 		if err != nil {
@@ -219,11 +250,11 @@ func BuildWithDevice(scheme Scheme, dev *nand.Device, geo nand.Geometry, opts *c
 		}
 		return &Instance{Scheme: scheme, FTL: f}, nil
 	case SchemeSepBIT:
-		probe, err := ftl.New(ftl.DefaultConfig(geo), ftl.NewBaseSeparator(), ftl.CostBenefitPolicy{})
-		if err != nil {
-			return nil, err
-		}
-		f, err := newFTL(sepbit.New(probe.ExportedPages()))
+		// SepBIT's RAM table is sized to the exported capacity the FTL will
+		// derive from this config (no meta pages: the full superblock is
+		// data), mirroring ftl.NewWithDevice's computation.
+		exported := int(float64(geo.Superblocks()*geo.PagesPerSuperblock()) / (1 + cfg.OPRatio))
+		f, err := newFTL(sepbit.New(exported))
 		if err != nil {
 			return nil, err
 		}
@@ -270,20 +301,65 @@ func BuildPHFTLWithPolicy(geo nand.Geometry, opts core.Options, policy string) (
 	return &Instance{Scheme: SchemePHFTL, FTL: f, PHFTL: p}, nil
 }
 
-// Replay drives page-level operations through the instance. Unmapped reads
-// are ignored (hosts read zeroes).
+// replayOp drives one page-level operation through the instance. Unmapped
+// reads are ignored (hosts read zeroes); trims route to FTL.Trim, which
+// no-ops on unmapped pages.
+func (in *Instance) replayOp(op trace.PageOp, exported int) error {
+	lpn := nand.LPN(op.LPN % uint32(exported))
+	switch {
+	case op.Write:
+		if err := in.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: op.ReqPages, Seq: op.Seq}); err != nil {
+			return err
+		}
+		if in.Obs != nil {
+			in.Obs.Sampler.Tick(in.FTL.Clock())
+		}
+	case op.Trim:
+		if err := in.FTL.Trim(lpn); err != nil {
+			return err
+		}
+	default:
+		if err := in.FTL.Read(lpn, op.ReqPages); err != nil && err != ftl.ErrUnmapped {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay drives page-level operations through the instance.
 func (in *Instance) Replay(ops []trace.PageOp) error {
 	exported := in.FTL.ExportedPages()
 	for _, op := range ops {
-		lpn := nand.LPN(op.LPN % uint32(exported))
-		if op.Write {
-			if err := in.FTL.Write(ftl.UserWrite{LPN: lpn, ReqPages: op.ReqPages, Seq: op.Seq}); err != nil {
-				return err
-			}
-			if in.Obs != nil {
-				in.Obs.Sampler.Tick(in.FTL.Clock())
-			}
-		} else if err := in.FTL.Read(lpn, op.ReqPages); err != nil && err != ftl.ErrUnmapped {
+		if err := in.replayOp(op, exported); err != nil {
+			return err
+		}
+	}
+	if in.PHFTL != nil {
+		if err := in.PHFTL.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayStream drives a record stream through the instance in constant
+// memory: each record is expanded and replayed before the next is pulled, so
+// multi-GB trace files never materialize as a slice. pageSize is the replay
+// page size (records are byte-addressed); drivePages for LPN wrapping is the
+// profile-independent exported capacity of the instance itself.
+func (in *Instance) ReplayStream(src trace.RecordSource, pageSize int) error {
+	exported := in.FTL.ExportedPages()
+	e := trace.NewExpander(pageSize, exported)
+	yield := func(op trace.PageOp) error { return in.replayOp(op, exported) }
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.Expand(rec, yield); err != nil {
 			return err
 		}
 	}
@@ -330,13 +406,25 @@ func RunProfile(p workload.Profile, scheme Scheme, driveWrites int, opts *core.O
 	return RunOn(in, p, driveWrites)
 }
 
-// RunOn replays the profile on an existing instance.
+// RunOn replays the profile on an existing instance. The generator's records
+// are expanded and replayed one at a time, so a run's memory footprint is
+// independent of driveWrites (the slice-based path materialized every record
+// and page op up front — hundreds of MB for deep -dw replays).
 func RunOn(in *Instance, p workload.Profile, driveWrites int) (Result, error) {
 	gen := p.NewGenerator()
-	records := gen.Records(driveWrites * p.ExportedPages)
-	ops := trace.Expand(records, p.PageSize, p.ExportedPages)
-	if err := in.Replay(ops); err != nil {
-		return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
+	target := driveWrites * p.ExportedPages
+	e := trace.NewExpander(p.PageSize, p.ExportedPages)
+	exported := in.FTL.ExportedPages()
+	yield := func(op trace.PageOp) error { return in.replayOp(op, exported) }
+	for gen.PageWrites() < target {
+		if err := e.Expand(gen.Next(), yield); err != nil {
+			return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
+		}
+	}
+	if in.PHFTL != nil {
+		if err := in.PHFTL.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
+		}
 	}
 	in.Finish()
 	res := Result{

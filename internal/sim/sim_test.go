@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"io"
 	"testing"
+
+	"github.com/phftl/phftl/internal/trace"
 
 	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/workload"
@@ -118,5 +121,124 @@ func TestSchemesOrder(t *testing.T) {
 	s := Schemes()
 	if len(s) != 4 || s[0] != SchemeBase || s[3] != SchemePHFTL {
 		t.Errorf("schemes = %v", s)
+	}
+}
+
+// sliceSource adapts a record slice to trace.RecordSource.
+type sliceSource struct {
+	recs []trace.Record
+	i    int
+}
+
+func (s *sliceSource) Next() (trace.Record, error) {
+	if s.i >= len(s.recs) {
+		return trace.Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// TestReplayStreamMatchesSliceReplay is the streaming-equivalence acceptance
+// criterion: replaying the same records through ReplayStream must leave the
+// FTL in a state with identical statistics to the slice-based Expand+Replay
+// path.
+func TestReplayStreamMatchesSliceReplay(t *testing.T) {
+	p := smallProfile()
+	p.TrimFrac, p.TrimRunPages, p.SeqTrimLagPages = 0.05, 32, 128
+	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
+	records := p.NewGenerator().Records(3 * p.ExportedPages)
+
+	slice, err := Build(SchemeBase, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := trace.Expand(records, p.PageSize, slice.FTL.ExportedPages())
+	if err := slice.Replay(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := Build(SchemeBase, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.ReplayStream(&sliceSource{recs: records}, p.PageSize); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := slice.FTL.Stats(), stream.FTL.Stats(); a != b {
+		t.Fatalf("stats diverge:\nslice:  %+v\nstream: %+v", a, b)
+	}
+}
+
+// TestReplayRoutesTrimsAllSchemes runs a trim twin through every scheme and
+// checks Stats.Trims matches the discards that hit mapped pages, with clean
+// invariants.
+func TestReplayRoutesTrimsAllSchemes(t *testing.T) {
+	p := smallProfile()
+	p.TrimFrac, p.TrimRunPages, p.SeqTrimLagPages = 0.06, 48, 128
+	for _, s := range Schemes() {
+		res, err := RunProfile(p, s, 3, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.FTLStats.Trims == 0 {
+			t.Errorf("%s: no trims reached the FTL", s)
+		}
+	}
+}
+
+// TestTrimLowersWA replays a trim twin and its no-trim base on the Base
+// scheme: discarding dead data before GC sees it must lower measured WA (the
+// whole point of TRIM).
+func TestTrimLowersWA(t *testing.T) {
+	p := smallProfile()
+	twin := workload.WithTrim(p, p.ID+"T", 0.06, 48, 128)
+	base, err := RunProfile(p, SchemeBase, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := RunProfile(twin, SchemeBase, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.WA >= base.WA {
+		t.Errorf("trim twin WA %.4f not below base WA %.4f", trimmed.WA, base.WA)
+	}
+}
+
+// TestOPSweepMonotone checks the acceptance criterion for -op-sweep: Base
+// WA must decrease monotonically as the spare factor grows (Frankie et al.'s
+// closed-form curves are strictly decreasing in OP).
+func TestOPSweepMonotone(t *testing.T) {
+	p := smallProfile()
+	prev := -1.0
+	for i, op := range []float64{0.07, 0.15, 0.28} {
+		geo := GeometryForDriveOP(p.ExportedPages, p.PageSize, op)
+		in, err := BuildOP(SchemeBase, geo, op, nil)
+		if err != nil {
+			t.Fatalf("op=%v: %v", op, err)
+		}
+		res, err := RunOn(in, p, 4)
+		if err != nil {
+			t.Fatalf("op=%v: %v", op, err)
+		}
+		if i > 0 && res.WA >= prev {
+			t.Errorf("WA(op=%v) = %.4f, not below WA at previous OP %.4f", op, res.WA, prev)
+		}
+		prev = res.WA
+	}
+}
+
+// TestGeometryDefaultOPUnchanged pins that the OP-parameterized sizing at 7%
+// reproduces the historical geometry bit-for-bit (golden baselines depend on
+// it).
+func TestGeometryDefaultOPUnchanged(t *testing.T) {
+	for _, pages := range []int{4096, 12288, 16384, 20480, 32768} {
+		a := GeometryForDrive(pages, 16384)
+		b := GeometryForDriveOP(pages, 16384, 0.07)
+		if a != b {
+			t.Fatalf("%d pages: %+v vs %+v", pages, a, b)
+		}
 	}
 }

@@ -1,16 +1,16 @@
 // Package trace models block-level I/O traces: the record format, CSV
-// parsing/writing (native and Alibaba-Cloud-style layouts), expansion of
-// byte-addressed requests into page-level operations with the request
-// context PHFTL's features need (io_len, is_seq), aggregate statistics, and
-// offline page-lifetime annotation used as ground truth for Table I.
+// parsing/writing (native, Alibaba-Cloud-style and MSR-Cambridge layouts),
+// expansion of byte-addressed requests into page-level operations with the
+// request context PHFTL's features need (io_len, is_seq), aggregate
+// statistics, and offline page-lifetime annotation used as ground truth for
+// Table I. Reader and Expander are the streaming forms: multi-GB traces
+// parse and expand in constant memory.
 package trace
 
 import (
 	"bufio"
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 )
 
 // Op is the request type.
@@ -21,6 +21,9 @@ const (
 	OpRead Op = 'R'
 	// OpWrite is a host write.
 	OpWrite Op = 'W'
+	// OpTrim is a host discard: the addressed range no longer holds live
+	// data and the device may invalidate it (ATA TRIM / NVMe deallocate).
+	OpTrim Op = 'T'
 )
 
 // Record is one block-level request.
@@ -36,51 +39,102 @@ type Record struct {
 type PageOp struct {
 	LPN      uint32
 	Write    bool
+	Trim     bool   // discard of the page (Write is false)
 	ReqPages int    // pages in the parent request (io_len)
 	Seq      bool   // request starts where the previous request of same kind ended
 	Time     uint64 // parent request arrival time, µs
 }
 
+// request-kind indices for the Expander's per-kind stream-detection state.
+const (
+	kindWrite = iota
+	kindRead
+	kindTrim
+	numKinds
+)
+
+func kindOf(op Op) int {
+	switch op {
+	case OpWrite:
+		return kindWrite
+	case OpTrim:
+		return kindTrim
+	default:
+		return kindRead
+	}
+}
+
+// Expander incrementally converts byte-addressed records into page-level
+// operations for a given page size, wrapping LPNs modulo drivePages so
+// traces recorded on larger drives replay on scaled-down ones. It holds only
+// the per-kind sequential-stream state, so arbitrarily long traces expand in
+// constant memory. A request is sequential if its byte offset equals the end
+// offset of the previous request of the same kind, mirroring how firmware
+// detects streams; whether a previous request exists is tracked explicitly
+// per kind (a sentinel end-offset of 0 would misclassify requests
+// legitimately continuing from offset 0).
+type Expander struct {
+	pageSize   int
+	drivePages int
+	lastEnd    [numKinds]uint64
+	seen       [numKinds]bool
+}
+
+// NewExpander returns an Expander for the given page size and drive size.
+func NewExpander(pageSize, drivePages int) *Expander {
+	return &Expander{pageSize: pageSize, drivePages: drivePages}
+}
+
+// Expand converts one record into its page ops, invoking yield once per
+// page in ascending LPN order. A non-nil error from yield aborts the
+// expansion and is returned. Zero-size records expand to nothing.
+func (e *Expander) Expand(r Record, yield func(PageOp) error) error {
+	if r.Size == 0 {
+		return nil
+	}
+	first := r.Offset / uint64(e.pageSize)
+	last := (r.Offset + uint64(r.Size) - 1) / uint64(e.pageSize)
+	n := int(last - first + 1)
+	k := kindOf(r.Op)
+	seq := e.seen[k] && r.Offset == e.lastEnd[k]
+	e.seen[k] = true
+	e.lastEnd[k] = r.Offset + uint64(r.Size)
+	op := PageOp{
+		Write:    r.Op == OpWrite,
+		Trim:     r.Op == OpTrim,
+		ReqPages: n,
+		Seq:      seq,
+		Time:     r.Time,
+	}
+	for p := first; p <= last; p++ {
+		op.LPN = uint32(p % uint64(e.drivePages))
+		if err := yield(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Expand converts byte-addressed records into page-level operations for the
-// given page size, wrapping LPNs modulo drivePages so traces recorded on
-// larger drives can be replayed on scaled-down ones. A request is sequential
-// if its byte offset equals the end offset of the previous request of the
-// same kind, mirroring how firmware detects streams.
+// given page size; it is the slice form of Expander (see there for the
+// sequential-detection semantics).
 func Expand(records []Record, pageSize int, drivePages int) []PageOp {
 	var out []PageOp
-	var lastWriteEnd, lastReadEnd uint64
+	e := NewExpander(pageSize, drivePages)
 	for _, r := range records {
-		if r.Size == 0 {
-			continue
-		}
-		first := r.Offset / uint64(pageSize)
-		last := (r.Offset + uint64(r.Size) - 1) / uint64(pageSize)
-		n := int(last - first + 1)
-		seq := false
-		if r.Op == OpWrite {
-			seq = r.Offset == lastWriteEnd && lastWriteEnd != 0
-			lastWriteEnd = r.Offset + uint64(r.Size)
-		} else {
-			seq = r.Offset == lastReadEnd && lastReadEnd != 0
-			lastReadEnd = r.Offset + uint64(r.Size)
-		}
-		for p := first; p <= last; p++ {
-			out = append(out, PageOp{
-				LPN:      uint32(p % uint64(drivePages)),
-				Write:    r.Op == OpWrite,
-				ReqPages: n,
-				Seq:      seq,
-				Time:     r.Time,
-			})
-		}
+		e.Expand(r, func(op PageOp) error { // nolint: errcheck — never errs
+			out = append(out, op)
+			return nil
+		})
 	}
 	return out
 }
 
 // Stats summarizes a trace.
 type Stats struct {
-	Reads, Writes           int
+	Reads, Writes, Trims    int
 	ReadBytes, WriteBytes   uint64
+	TrimBytes               uint64
 	MinOffset, MaxOffsetEnd uint64
 	Duration                uint64 // µs between first and last record
 }
@@ -94,10 +148,14 @@ func Summarize(records []Record) Stats {
 	s.MinOffset = ^uint64(0)
 	first, last := records[0].Time, records[0].Time
 	for _, r := range records {
-		if r.Op == OpWrite {
+		switch r.Op {
+		case OpWrite:
 			s.Writes++
 			s.WriteBytes += uint64(r.Size)
-		} else {
+		case OpTrim:
+			s.Trims++
+			s.TrimBytes += uint64(r.Size)
+		default:
 			s.Reads++
 			s.ReadBytes += uint64(r.Size)
 		}
@@ -122,12 +180,27 @@ func Summarize(records []Record) Stats {
 // trace (read-only or written-once data).
 const InfiniteLifetime = ^uint32(0)
 
+// clampLifetime converts a virtual-clock gap to its uint32 lifetime label.
+// Gaps that do not fit in uint32 clamp to InfiniteLifetime: a page that
+// lived 2^32−1 page writes is colder than any plausible classification
+// threshold, and letting the conversion wrap would mislabel exactly those
+// coldest pages as hot in the ground truth.
+func clampLifetime(gap uint64) uint32 {
+	if gap >= uint64(InfiniteLifetime) {
+		return InfiniteLifetime
+	}
+	return uint32(gap)
+}
+
 // AnnotateLifetimes computes, for every page-level *write* in ops (in
 // order), its ground-truth lifetime: the number of logical page writes
-// between it and the next write to the same LPN, following the paper's
+// between it and the next invalidation of the same LPN — an overwrite, or a
+// trim (a discarded page is dead the instant the trim lands; the gap is
+// counted as if the trim were the next write) — following the paper's
 // definition of the global page-write counter as a virtual clock (§III-B).
-// Writes never overwritten get InfiniteLifetime. The returned slice has one
-// entry per write op, in encounter order; read ops contribute no entry.
+// Writes never invalidated get InfiniteLifetime, as do (pathologically cold)
+// writes whose lifetime overflows uint32. The returned slice has one entry
+// per write op, in encounter order; read and trim ops contribute no entry.
 func AnnotateLifetimes(ops []PageOp) []uint32 {
 	// First pass: index of previous write per LPN, patched forward.
 	type pending struct {
@@ -138,12 +211,19 @@ func AnnotateLifetimes(ops []PageOp) []uint32 {
 	var lifetimes []uint32
 	var clock uint64
 	for _, op := range ops {
+		if op.Trim {
+			if prev, ok := lastWrite[op.LPN]; ok {
+				lifetimes[prev.writeIdx] = clampLifetime(clock - prev.clock + 1)
+				delete(lastWrite, op.LPN)
+			}
+			continue
+		}
 		if !op.Write {
 			continue
 		}
 		clock++
 		if prev, ok := lastWrite[op.LPN]; ok {
-			lifetimes[prev.writeIdx] = uint32(clock - prev.clock)
+			lifetimes[prev.writeIdx] = clampLifetime(clock - prev.clock)
 		}
 		lifetimes = append(lifetimes, InfiniteLifetime)
 		lastWrite[op.LPN] = pending{writeIdx: len(lifetimes) - 1, clock: clock}
@@ -151,70 +231,21 @@ func AnnotateLifetimes(ops []PageOp) []uint32 {
 	return lifetimes
 }
 
-// ReadCSV parses trace records from r. Two layouts are accepted, detected
-// per row by field count:
-//
-//	4 fields (native):  timestamp_us,op,offset_bytes,size_bytes
-//	5 fields (Alibaba): device_id,op,offset_bytes,size_bytes,timestamp_us
-//
-// op is R/W (case-insensitive).
+// ReadCSV parses all trace records from r; it is the slice form of Reader
+// (see there for the accepted layouts and header handling).
 func ReadCSV(r io.Reader) ([]Record, error) {
-	cr := csv.NewReader(bufio.NewReader(r))
-	cr.FieldsPerRecord = -1
+	tr := NewReader(r)
 	var out []Record
-	line := 0
 	for {
-		fields, err := cr.Read()
+		rec, err := tr.Next()
 		if err == io.EOF {
-			break
+			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
-		}
-		line++
-		var rec Record
-		switch len(fields) {
-		case 4:
-			rec, err = parseFields(fields[0], fields[1], fields[2], fields[3])
-		case 5:
-			rec, err = parseFields(fields[4], fields[1], fields[2], fields[3])
-		default:
-			return nil, fmt.Errorf("trace: line %d: expected 4 or 5 fields, got %d", line, len(fields))
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, err
 		}
 		out = append(out, rec)
 	}
-	return out, nil
-}
-
-func parseFields(ts, op, off, size string) (Record, error) {
-	var rec Record
-	t, err := strconv.ParseUint(ts, 10, 64)
-	if err != nil {
-		return rec, fmt.Errorf("bad timestamp %q: %w", ts, err)
-	}
-	o, err := strconv.ParseUint(off, 10, 64)
-	if err != nil {
-		return rec, fmt.Errorf("bad offset %q: %w", off, err)
-	}
-	s, err := strconv.ParseUint(size, 10, 32)
-	if err != nil {
-		return rec, fmt.Errorf("bad size %q: %w", size, err)
-	}
-	switch op {
-	case "R", "r":
-		rec.Op = OpRead
-	case "W", "w":
-		rec.Op = OpWrite
-	default:
-		return rec, fmt.Errorf("bad op %q (want R or W)", op)
-	}
-	rec.Time = t
-	rec.Offset = o
-	rec.Size = uint32(s)
-	return rec, nil
 }
 
 // WriteCSV writes records in the native 4-field layout.

@@ -62,6 +62,96 @@ func TestExpandWrapsLPNs(t *testing.T) {
 	}
 }
 
+func TestExpandSequentialContinuationFromOffsetZero(t *testing.T) {
+	// Regression: the old implementation used `lastWriteEnd != 0` as its
+	// "have we seen a request" sentinel, so a request whose predecessor
+	// legitimately ended at byte offset 0 (end-of-address-space wrap) was
+	// never flagged sequential.
+	wrapStart := ^uint64(0) - 4095 // last 4096 bytes of the address space
+	recs := []Record{
+		{Op: OpWrite, Offset: wrapStart, Size: 4096}, // ends at offset 0
+		{Op: OpWrite, Offset: 0, Size: 4096},         // continues the stream
+	}
+	ops := Expand(recs, 4096, 100)
+	if ops[0].Seq {
+		t.Error("first request of a kind flagged sequential")
+	}
+	if !ops[1].Seq {
+		t.Error("request continuing from offset 0 not flagged sequential")
+	}
+	// And the first-ever request at offset 0 must still NOT be sequential.
+	ops = Expand([]Record{{Op: OpWrite, Offset: 0, Size: 4096}}, 4096, 100)
+	if ops[0].Seq {
+		t.Error("first request at offset 0 flagged sequential")
+	}
+}
+
+func TestExpandTrimOps(t *testing.T) {
+	recs := []Record{
+		{Op: OpTrim, Offset: 0, Size: 4096 * 2},
+		{Op: OpTrim, Offset: 8192, Size: 4096}, // sequential trim stream
+		{Op: OpWrite, Offset: 8192, Size: 4096},
+	}
+	ops := Expand(recs, 4096, 100)
+	if len(ops) != 4 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	for i := 0; i < 3; i++ {
+		if !ops[i].Trim || ops[i].Write {
+			t.Errorf("op[%d] = %+v, want trim", i, ops[i])
+		}
+	}
+	if ops[0].ReqPages != 2 || ops[0].LPN != 0 || ops[1].LPN != 1 {
+		t.Errorf("trim expansion = %+v, %+v", ops[0], ops[1])
+	}
+	if !ops[2].Seq {
+		t.Error("sequential trim not flagged")
+	}
+	// Trims maintain their own stream: the write at 8192 does not continue
+	// the trim stream.
+	if ops[3].Seq || ops[3].Trim || !ops[3].Write {
+		t.Errorf("write op = %+v", ops[3])
+	}
+}
+
+func TestExpanderMatchesExpand(t *testing.T) {
+	f := func(raw []uint8) bool {
+		recs := make([]Record, len(raw))
+		ops := []Op{OpWrite, OpRead, OpTrim}
+		for i, b := range raw {
+			recs[i] = Record{
+				Op:     ops[b%3],
+				Offset: uint64(b) * 1000,
+				Size:   uint32(b%5) * 2048,
+				Time:   uint64(i),
+			}
+		}
+		want := Expand(recs, 4096, 64)
+		e := NewExpander(4096, 64)
+		var got []PageOp
+		for _, r := range recs {
+			if err := e.Expand(r, func(op PageOp) error {
+				got = append(got, op)
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	recs := []Record{
 		{Time: 100, Op: OpWrite, Offset: 0, Size: 8192},
@@ -160,6 +250,68 @@ func TestAnnotateLifetimesProperty(t *testing.T) {
 	}
 }
 
+func TestSummarizeTrims(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 5, Op: OpTrim, Offset: 0, Size: 8192},
+	}
+	s := Summarize(recs)
+	if s.Trims != 1 || s.TrimBytes != 8192 {
+		t.Errorf("trims = %d/%d bytes", s.Trims, s.TrimBytes)
+	}
+	if s.Writes != 1 || s.Reads != 0 {
+		t.Errorf("counts = %d writes, %d reads", s.Writes, s.Reads)
+	}
+	if s.MaxOffsetEnd != 8192 {
+		t.Errorf("MaxOffsetEnd = %d", s.MaxOffsetEnd)
+	}
+}
+
+func TestClampLifetime(t *testing.T) {
+	// Regression: a lifetime >= 2^32 page writes used to silently wrap to a
+	// small value, mislabeling the coldest pages as hot.
+	cases := []struct {
+		gap  uint64
+		want uint32
+	}{
+		{1, 1},
+		{1 << 31, 1 << 31},
+		{uint64(InfiniteLifetime) - 1, InfiniteLifetime - 1},
+		{uint64(InfiniteLifetime), InfiniteLifetime},
+		{uint64(InfiniteLifetime) + 1, InfiniteLifetime}, // would wrap to 0
+		{1 << 33, InfiniteLifetime},                      // would wrap to 2^33 mod 2^32 = 0
+		{(1 << 32) + 7, InfiniteLifetime},                // would wrap to 7 ("hot")
+	}
+	for _, c := range cases {
+		if got := clampLifetime(c.gap); got != c.want {
+			t.Errorf("clampLifetime(%d) = %d, want %d", c.gap, got, c.want)
+		}
+	}
+}
+
+func TestAnnotateLifetimesTrim(t *testing.T) {
+	// Writes to LPNs 1, 2; then LPN 1 is trimmed; then LPN 1 is rewritten.
+	ops := []PageOp{
+		{LPN: 1, Write: true},
+		{LPN: 2, Write: true},
+		{LPN: 1, Trim: true},
+		{LPN: 1, Write: true},
+	}
+	lifetimes := AnnotateLifetimes(ops)
+	if len(lifetimes) != 3 {
+		t.Fatalf("len = %d, want 3 (trims contribute no entry)", len(lifetimes))
+	}
+	// Write 0 (clock 1) dies at the trim (clock still 2): gap 2-1+1 = 2.
+	if lifetimes[0] != 2 {
+		t.Errorf("trimmed write lifetime = %d, want 2", lifetimes[0])
+	}
+	// The rewrite after the trim must NOT resolve against the trimmed
+	// write; both it and the LPN-2 write are never invalidated.
+	if lifetimes[1] != InfiniteLifetime || lifetimes[2] != InfiniteLifetime {
+		t.Errorf("lifetimes = %v", lifetimes)
+	}
+}
+
 func TestCSVRoundTrip(t *testing.T) {
 	recs := []Record{
 		{Time: 1, Op: OpWrite, Offset: 4096, Size: 8192},
@@ -201,16 +353,142 @@ func TestReadCSVAlibabaLayout(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
+	// A bad first line is tolerated as a header row, so each malformed line
+	// sits behind a valid one.
 	cases := []string{
-		"1,W,0\n",                      // too few fields
-		"x,W,0,1\n",                    // bad timestamp
-		"1,X,0,1\n",                    // bad op
-		"1,W,abc,1\n",                  // bad offset
-		"1,W,0,99999999999999999999\n", // size overflow
+		"1,W,0,4096\n1,W,0\n",                      // too few fields
+		"1,W,0,4096\nx,W,0,1\n",                    // bad timestamp
+		"1,W,0,4096\n1,X,0,1\n",                    // bad op
+		"1,W,0,4096\n1,W,abc,1\n",                  // bad offset
+		"1,W,0,4096\n1,W,0,99999999999999999999\n", // size overflow
 	}
 	for _, in := range cases {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadCSVHeaderRow(t *testing.T) {
+	// Real Alibaba/MSR trace files ship with a header; exactly one
+	// unparseable first line is skipped.
+	in := "timestamp,op,offset,size\n10,W,0,4096\n20,R,4096,4096\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Op != OpWrite || got[1].Op != OpRead {
+		t.Fatalf("records = %+v", got)
+	}
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SkippedHeader() {
+		t.Error("SkippedHeader = false after skipping a header")
+	}
+	// Headerless input must not report a skipped header.
+	r = NewReader(strings.NewReader("10,W,0,4096\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedHeader() {
+		t.Error("SkippedHeader = true on headerless input")
+	}
+}
+
+func TestReadCSVTrimOps(t *testing.T) {
+	// Native, Alibaba and alias spellings of a discard.
+	in := "1,T,0,4096\n0,t,4096,4096,2\n3,D,8192,4096\n4,d,12288,4096\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, r := range got {
+		if r.Op != OpTrim {
+			t.Errorf("rec[%d].Op = %c, want T", i, r.Op)
+		}
+	}
+	if got[1].Time != 2 || got[1].Offset != 4096 {
+		t.Errorf("alibaba trim = %+v", got[1])
+	}
+}
+
+func TestCSVTrimRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 2, Op: OpTrim, Offset: 0, Size: 4096},
+		{Time: 3, Op: OpRead, Offset: 4096, Size: 512},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("rec[%d] = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVMSRLayout(t *testing.T) {
+	in := "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n" +
+		"128166372003061629,usr,0,Write,8192,4096,551\n" +
+		"128166372003071629,usr,0,Read,0,512,560\n" +
+		"128166372003081629,usr,0,Trim,16384,4096,10\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Op != OpWrite || got[0].Offset != 8192 || got[0].Size != 4096 {
+		t.Errorf("rec[0] = %+v", got[0])
+	}
+	if got[0].Time != 0 {
+		t.Errorf("first MSR timestamp not rebased to 0: %d", got[0].Time)
+	}
+	// 10^4 filetime ticks = 1 ms = 1000 µs between rows.
+	if got[1].Time != 1000 || got[2].Time != 2000 {
+		t.Errorf("rebased times = %d, %d, want 1000, 2000", got[1].Time, got[2].Time)
+	}
+	if got[1].Op != OpRead || got[2].Op != OpTrim {
+		t.Errorf("ops = %c, %c", got[1].Op, got[2].Op)
+	}
+}
+
+func TestStreamingReaderMatchesReadCSV(t *testing.T) {
+	in := "ts,op,off,size\n1,W,0,4096\n2,R,4096,512\n3,T,0,4096\n9,w,8192,8192,7\n"
+	want, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(strings.NewReader(in))
+	var got []Record
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, slice form %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rec[%d] = %+v, want %+v", i, got[i], want[i])
 		}
 	}
 }

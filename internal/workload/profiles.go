@@ -268,12 +268,50 @@ func Profiles() []Profile {
 	}
 }
 
-// ProfileByID returns the profile with the given ID, or false.
-func ProfileByID(id string) (Profile, bool) {
-	for _, p := range Profiles() {
+// WithTrim derives a trim-enabled twin of a profile: same seed and request
+// stream, plus discard traffic. frac of requests become file-delete bursts of
+// runPages cold pages, and (when lagPages > 0) the circular log is truncated
+// lagPages behind its head. The twin shares the base profile's seed, so its
+// write stream is byte-identical to the original — any WA difference is
+// attributable to the discards alone.
+func WithTrim(p Profile, id string, frac float64, runPages, lagPages int) Profile {
+	p.ID = id
+	p.TrimFrac = frac
+	p.TrimRunPages = runPages
+	p.SeqTrimLagPages = lagPages
+	return p
+}
+
+// TrimProfiles returns the trim-enabled twins used by the TRIM scenarios:
+// "#52T" (sequential-heavy drive with log truncation close behind the head)
+// and "#144T" (high-WA churny drive with frequent file-delete bursts). They
+// are kept out of Profiles() so the Figure 5 default sweep stays the paper's
+// 20 traces.
+func TrimProfiles() []Profile {
+	var out []Profile
+	if p, ok := profileFrom(Profiles(), "#52"); ok {
+		out = append(out, WithTrim(p, "#52T", 0.04, 64, 1024))
+	}
+	if p, ok := profileFrom(Profiles(), "#144"); ok {
+		out = append(out, WithTrim(p, "#144T", 0.06, 96, 256))
+	}
+	return out
+}
+
+func profileFrom(list []Profile, id string) (Profile, bool) {
+	for _, p := range list {
 		if p.ID == id {
 			return p, true
 		}
 	}
 	return Profile{}, false
+}
+
+// ProfileByID returns the profile with the given ID, searching the paper's
+// 20 traces and the trim-enabled twins, or false.
+func ProfileByID(id string) (Profile, bool) {
+	if p, ok := profileFrom(Profiles(), id); ok {
+		return p, true
+	}
+	return profileFrom(TrimProfiles(), id)
 }

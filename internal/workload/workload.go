@@ -91,6 +91,17 @@ type Profile struct {
 	// retraining.
 	PhaseEvery int
 
+	// TrimFrac is the fraction of requests that are file-delete discard
+	// bursts over the cold region (0 disables trims; all trim knobs at zero
+	// leave the generated stream byte-identical to a trim-free profile).
+	TrimFrac float64
+	// TrimRunPages is the size of one file-delete discard burst in pages.
+	TrimRunPages int
+	// SeqTrimLagPages, when positive, truncates the circular log: every
+	// sequential burst is followed by discards of the log extent more than
+	// this many pages behind the head, modeling log-structured cleanup.
+	SeqTrimLagPages int
+
 	// InterArrivalUS is the mean request inter-arrival time in microseconds
 	// (exponential), used by timing experiments.
 	InterArrivalUS float64
@@ -103,6 +114,11 @@ type Profile struct {
 type Generator struct {
 	p   Profile
 	rng *rand.Rand
+
+	// trimRng places file-delete bursts. Trims draw from their own stream so
+	// enabling them never perturbs the base rng: a trim twin's write/read
+	// records stay byte-identical to its base profile's. Nil when disabled.
+	trimRng *rand.Rand
 
 	hotBase int // current hot-region start (rotates with phases)
 	hotSize int
@@ -120,15 +136,24 @@ type Generator struct {
 
 	seqRegion int // pages in the sequential region
 	seqPtr    int // next page of the circular log
+	seqTotal  int // cumulative pages appended to the circular log
+	trimPtr   int // cumulative log pages truncated (SeqTrimLagPages > 0)
 
 	pageWrites int // total page writes emitted
 	clockUS    uint64
+
+	// pending holds follow-up records (log-truncation trims) emitted before
+	// the next synthesized request. Always empty when trims are disabled.
+	pending []trace.Record
 
 	// Low-discrepancy accumulators for request-type selection: types arrive
 	// at their exact configured rates with minimal interleave variance, so
 	// per-page update periods are as regular as the jitter knobs dictate
 	// (i.i.d. type sampling would add Poisson dispersion that swamps them).
-	seqAcc, hotAcc, altAcc, medAcc, warmAcc float64
+	// trimAcc gates discard bursts the same way; it stays zero (and draws no
+	// randomness) when TrimFrac is zero, so enabling trims on a twin profile
+	// leaves the base request stream untouched.
+	seqAcc, hotAcc, altAcc, medAcc, warmAcc, trimAcc float64
 }
 
 func bern(acc *float64, p float64) bool {
@@ -162,9 +187,14 @@ func (p Profile) NewGenerator() *Generator {
 	if altSize < 1 {
 		altSize = 1
 	}
+	var trimRng *rand.Rand
+	if p.TrimFrac > 0 || p.SeqTrimLagPages > 0 {
+		trimRng = rand.New(rand.NewSource(p.Seed ^ 0x74726d)) // "trm"
+	}
 	return &Generator{
 		p:         p,
 		rng:       rand.New(rand.NewSource(p.Seed)),
+		trimRng:   trimRng,
 		hotSize:   hotSize,
 		altSize:   altSize,
 		medSize:   medSize,
@@ -176,8 +206,48 @@ func (p Profile) NewGenerator() *Generator {
 // PageWrites returns the number of page writes emitted so far.
 func (g *Generator) PageWrites() int { return g.pageWrites }
 
-// Next produces the next request.
+// Next produces the next request. Trim records (pending log truncations and
+// file-delete bursts) draw their arrival gaps and placement from the
+// dedicated trim rng, so a trim twin's interleaved write/read stream stays
+// byte-identical to its base profile's.
 func (g *Generator) Next() trace.Record {
+	if len(g.pending) > 0 {
+		g.clockUS += uint64(g.trimRng.ExpFloat64() * g.p.InterArrivalUS)
+		rec := g.pending[0]
+		g.pending = g.pending[1:]
+		if len(g.pending) == 0 {
+			g.pending = nil
+		}
+		rec.Time = g.clockUS
+		return rec
+	}
+
+	// File-delete discard burst: a contiguous cold extent — a dead file —
+	// is trimmed in one request. The burst lands in the span that receives
+	// only uniform cold updates (above the warm region, below the circular
+	// log), so discards free genuinely cold data the way file deletion does.
+	// The low-discrepancy gate draws no randomness when TrimFrac is zero.
+	if g.p.TrimFrac > 0 && bern(&g.trimAcc, g.p.TrimFrac) {
+		g.clockUS += uint64(g.trimRng.ExpFloat64() * g.p.InterArrivalUS)
+		rec := trace.Record{Time: g.clockUS, Op: trace.OpTrim}
+		run := maxInt(g.p.TrimRunPages, 1)
+		lo := g.p.ExportedPages/4 + g.warmSize
+		hi := g.p.ExportedPages - g.seqRegion
+		if hi-lo < run { // degenerate layout: fall back to the full cold span
+			lo = 0
+			if hi < run {
+				hi = g.p.ExportedPages
+			}
+			if hi-lo < run {
+				run = hi - lo
+			}
+		}
+		start := lo + g.trimRng.Intn(hi-lo-run+1)
+		rec.Offset = uint64(start) * uint64(g.p.PageSize)
+		rec.Size = uint32(run * g.p.PageSize)
+		return rec
+	}
+
 	g.clockUS += uint64(g.rng.ExpFloat64() * g.p.InterArrivalUS)
 	rec := trace.Record{Time: g.clockUS}
 
@@ -238,6 +308,32 @@ func (g *Generator) Next() trace.Record {
 		rec.Offset = uint64(base+start) * uint64(g.p.PageSize)
 		rec.Size = uint32(run * g.p.PageSize)
 		g.pageWrites += run
+		g.seqTotal += run
+		// Circular-log truncation: discard every extent more than the lag
+		// behind the new head, clipped at the region wrap so each trim is
+		// one contiguous request. Queued as pending records so the trims
+		// follow the append that obsoleted them, like a log cleaner.
+		if lag := g.p.SeqTrimLagPages; lag > 0 {
+			if lag >= g.seqRegion {
+				// A lag of a full region or more would leave extents the
+				// wrapping head has already overwritten; the closest valid
+				// truncation distance is just under one lap.
+				lag = g.seqRegion - 1
+			}
+			for lag > 0 && g.seqTotal-g.trimPtr > lag {
+				chunk := g.seqTotal - lag - g.trimPtr
+				tStart := g.trimPtr % g.seqRegion
+				if tStart+chunk > g.seqRegion {
+					chunk = g.seqRegion - tStart
+				}
+				g.pending = append(g.pending, trace.Record{
+					Op:     trace.OpTrim,
+					Offset: uint64(base+tStart) * uint64(g.p.PageSize),
+					Size:   uint32(chunk * g.p.PageSize),
+				})
+				g.trimPtr += chunk
+			}
+		}
 	case bern(&g.hotAcc, g.p.HotWriteFrac):
 		// Near-periodic hot update: the cycle pointer advances by the
 		// request size so consecutive requests update disjoint objects.

@@ -254,3 +254,117 @@ func TestProfilesAltAndMedInRange(t *testing.T) {
 		}
 	}
 }
+
+func TestTrimProfilesWellFormed(t *testing.T) {
+	tps := TrimProfiles()
+	if len(tps) != 2 {
+		t.Fatalf("trim profiles = %d, want 2", len(tps))
+	}
+	for _, p := range tps {
+		if p.TrimFrac <= 0 || p.TrimRunPages <= 0 {
+			t.Errorf("%s: trim knobs not set: %+v", p.ID, p)
+		}
+		got, ok := ProfileByID(p.ID)
+		if !ok || got.ID != p.ID {
+			t.Errorf("ProfileByID(%s) = %v, %v", p.ID, got.ID, ok)
+		}
+		// The twin must keep its base profile's seed so the write streams
+		// coincide record-for-record.
+		base, ok := ProfileByID(p.ID[:len(p.ID)-1])
+		if !ok {
+			t.Fatalf("%s has no base profile", p.ID)
+		}
+		if p.Seed != base.Seed {
+			t.Errorf("%s: seed %d differs from base %d", p.ID, p.Seed, base.Seed)
+		}
+	}
+}
+
+// TestTrimTwinWriteStreamIdentical is the determinism contract behind every
+// trim experiment: enabling the trim knobs must only add discard records —
+// the interleaved write/read stream stays byte-identical to the base
+// profile's, so WA deltas are attributable to the discards alone.
+func TestTrimTwinWriteStreamIdentical(t *testing.T) {
+	base := testProfile()
+	twin := WithTrim(base, "#testT", 0.05, 32, 512)
+	wantPages := 30000
+	baseRecs := base.NewGenerator().Records(wantPages)
+	twinRecs := twin.NewGenerator().Records(wantPages)
+	trims := 0
+	var nonTrim []trace.Record
+	for _, r := range twinRecs {
+		if r.Op == trace.OpTrim {
+			trims++
+			continue
+		}
+		nonTrim = append(nonTrim, r)
+	}
+	if trims == 0 {
+		t.Fatal("twin emitted no trims")
+	}
+	if len(nonTrim) != len(baseRecs) {
+		t.Fatalf("non-trim records: %d vs %d base", len(nonTrim), len(baseRecs))
+	}
+	for i := range nonTrim {
+		a, b := nonTrim[i], baseRecs[i]
+		// Timestamps shift (trim requests consume arrival gaps); everything
+		// else must match exactly.
+		a.Time, b.Time = 0, 0
+		if a != b {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTrimRecordsWellFormed(t *testing.T) {
+	p := WithTrim(testProfile(), "#testT", 0.05, 32, 512)
+	g := p.NewGenerator()
+	seqRegion := int(p.SeqRegionFrac * float64(p.ExportedPages))
+	logBase := uint64(p.ExportedPages-seqRegion) * uint64(p.PageSize)
+	fileDeletes, truncations := 0, 0
+	for _, r := range g.Records(60000) {
+		if r.Op != trace.OpTrim {
+			continue
+		}
+		if r.Size == 0 || r.Offset%uint64(p.PageSize) != 0 {
+			t.Fatalf("malformed trim %+v", r)
+		}
+		end := r.Offset + uint64(r.Size)
+		if end > uint64(p.ExportedPages)*uint64(p.PageSize) {
+			t.Fatalf("trim [%d,+%d) beyond drive", r.Offset, r.Size)
+		}
+		if r.Offset >= logBase {
+			truncations++
+			if end > uint64(p.ExportedPages)*uint64(p.PageSize) {
+				t.Fatalf("log truncation %+v leaves the log region", r)
+			}
+		} else {
+			fileDeletes++
+			if r.Offset < uint64(p.ExportedPages/4)*uint64(p.PageSize) {
+				t.Errorf("file-delete burst at %d inside hot/warm tiers", r.Offset)
+			}
+		}
+	}
+	if fileDeletes == 0 {
+		t.Error("no file-delete bursts generated")
+	}
+	if truncations == 0 {
+		t.Error("no log truncations generated")
+	}
+}
+
+// TestZeroTrimKnobsAreInert pins that a profile with all trim knobs at zero
+// exercises none of the trim machinery (the base profiles regenerate
+// byte-identically — the golden baselines depend on it).
+func TestZeroTrimKnobsAreInert(t *testing.T) {
+	p := testProfile()
+	g := p.NewGenerator()
+	for _, r := range g.Records(20000) {
+		if r.Op == trace.OpTrim {
+			t.Fatal("trim emitted with zero knobs")
+		}
+	}
+	if g.pending != nil || g.trimAcc != 0 {
+		t.Errorf("trim state touched: pending=%v acc=%v", g.pending, g.trimAcc)
+	}
+}
