@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp smoke watop-smoke opsweep-smoke golden golden-check
+.PHONY: check vet build test race fmt bench benchcmp benchcheck smoke watop-smoke opsweep-smoke scaling-smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke watop-smoke opsweep-smoke golden-check
+check: vet build race fmt smoke watop-smoke opsweep-smoke scaling-smoke golden-check benchcheck
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,21 @@ smoke:
 opsweep-smoke:
 	$(GO) run -race ./cmd/wabench -dw 1 -traces "#52" -schemes "Base" \
 		-op-sweep "0.07,0.15,0.28"
+
+## scaling-smoke: the intra-cell parallelism determinism gate — one tiny
+## trace×scheme pair replayed serially and at -cell-workers 4, both under
+## -race, with the telemetry CSVs diffed byte-for-byte. Proves the pipelined
+## replay, parallel GC snapshot and sharded retrainer are data-race-free AND
+## bit-identical to the serial path end to end (unit tests pin the same
+## property per layer; this pins the composed binary).
+scaling-smoke:
+	rm -rf /tmp/phftl-scaling-serial /tmp/phftl-scaling-w4
+	$(GO) run -race ./cmd/wabench -dw 1 -traces "#144" -schemes "Base,PHFTL" \
+		-telemetry-csv /tmp/phftl-scaling-serial > /dev/null
+	$(GO) run -race ./cmd/wabench -dw 1 -traces "#144" -schemes "Base,PHFTL" \
+		-cell-workers 4 -telemetry-csv /tmp/phftl-scaling-w4 > /dev/null
+	diff -r /tmp/phftl-scaling-serial /tmp/phftl-scaling-w4
+	@echo "scaling-smoke: -cell-workers 4 output byte-identical to serial"
 
 ## watop-smoke: a short phftlsim -telemetry run fed into the live dashboard
 ## in -once mode under -race — proves the erase/sample stream renders a
@@ -87,3 +102,17 @@ benchcmp:
 	   $(GO) test -bench 'BenchmarkSelectVictim' -count=3 -benchmem -run '^$$' ./internal/ftl ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo "wrote BENCH_$$(date +%F).json"
+
+## benchcheck: CI perf gate — rerun the write-path benchmark (short) and fail
+## if ns/op regressed beyond BENCHCHECK_REGRESS percent against the newest
+## committed BENCH_<date>.json. The limit is deliberately generous: the gate
+## is meant to catch step-change regressions (an accidental allocation or
+## lock on the hot path), not wall-clock noise on a shared host.
+BENCHCHECK_REGRESS := 50
+
+benchcheck:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "benchcheck: no BENCH_<date>.json baseline"; exit 1; fi; \
+	echo "benchcheck: comparing against $$base (max +$(BENCHCHECK_REGRESS)% ns/op)"; \
+	$(GO) test -bench 'BenchmarkWritePath' -benchtime=50000x -count=3 -benchmem -run '^$$' . \
+	| $(GO) run ./cmd/benchjson -against $$base -max-regress $(BENCHCHECK_REGRESS) > /dev/null

@@ -8,16 +8,25 @@
 // allocation counts keep the maximum (they are deterministic in steady
 // state, so any spread is itself a signal).
 //
+// With -against, the snapshot is additionally compared to a previous
+// BENCH_<date>.json: any benchmark present in both whose ns/op regressed by
+// more than -max-regress percent fails the run (exit 1), turning the dated
+// snapshots into a CI perf gate.
+//
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchjson > BENCH.json
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchjson -against BENCH_2026-08-06.json -max-regress 40 > /dev/null
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,9 +40,11 @@ type Entry struct {
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 }
 
-func main() {
+// parse folds `go test -bench` result lines from r into per-benchmark
+// entries (min ns/op, max allocs/op and B/op across repeats).
+func parse(r io.Reader) (map[string]*Entry, error) {
 	results := make(map[string]*Entry)
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -76,7 +87,36 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+// regressions compares cur against prev and reports every benchmark present
+// in both whose ns/op grew by more than maxRegressPct percent, sorted by
+// name. Benchmarks only in one snapshot are ignored (new or retired).
+func regressions(cur, prev map[string]*Entry, maxRegressPct float64) []string {
+	var out []string
+	for name, c := range cur {
+		p, ok := prev[name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		pct := (c.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		if pct > maxRegressPct {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (+%.1f%% > %.0f%%)",
+				name, p.NsPerOp, c.NsPerOp, pct, maxRegressPct))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	against := flag.String("against", "", "previous BENCH_<date>.json to compare against; ns/op regressions beyond -max-regress fail the run")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression in percent when -against is set")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
@@ -90,6 +130,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *against == "" {
+		return
+	}
+	raw, err := os.ReadFile(*against)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	prev := make(map[string]*Entry)
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *against, err)
+		os.Exit(1)
+	}
+	if regs := regressions(results, prev, *maxRegress); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d ns/op regression(s) vs %s:\n", len(regs), *against)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ok, no ns/op regression beyond %.0f%% vs %s\n", *maxRegress, *against)
 }
 
 func ptr(v float64) *float64 { return &v }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkWritePathSteadyState/PHFTL-4         	  100000	      1000 ns/op	      90 B/op	       1 allocs/op
+BenchmarkWritePathSteadyState/PHFTL-4         	  100000	       950 ns/op	      88 B/op	       1 allocs/op
+BenchmarkWritePathSteadyState/Base-4          	  100000	       400 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseFoldsRepeats(t *testing.T) {
+	got, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := got["BenchmarkWritePathSteadyState/PHFTL"]
+	if ent == nil {
+		t.Fatal("missing folded PHFTL entry (GOMAXPROCS suffix not stripped?)")
+	}
+	if ent.NsPerOp != 950 {
+		t.Errorf("ns/op = %v, want min of repeats 950", ent.NsPerOp)
+	}
+	if ent.BytesPerOp == nil || *ent.BytesPerOp != 90 {
+		t.Errorf("B/op = %v, want max of repeats 90", ent.BytesPerOp)
+	}
+	if ent.AllocsPerOp == nil || *ent.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %v, want 1", ent.AllocsPerOp)
+	}
+}
+
+// TestRegressionsFlagsInjectedSlowdown is the compare-mode acceptance test:
+// an injected ns/op regression beyond the limit must be reported, while
+// in-limit drift, improvements and new benchmarks must not.
+func TestRegressionsFlagsInjectedSlowdown(t *testing.T) {
+	prev := map[string]*Entry{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1000},
+	}
+	cur := map[string]*Entry{
+		"BenchmarkA": {NsPerOp: 1250}, // +25%: over the 10% limit
+		"BenchmarkB": {NsPerOp: 1050}, // +5%: within the limit
+		"BenchmarkC": {NsPerOp: 800},  // improvement
+		"BenchmarkD": {NsPerOp: 9999}, // new benchmark: no baseline
+	}
+	regs := regressions(cur, prev, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Fatalf("regressions = %v, want exactly the BenchmarkA slowdown", regs)
+	}
+	if regs := regressions(cur, prev, 30); len(regs) != 0 {
+		t.Fatalf("regressions at 30%% limit = %v, want none", regs)
+	}
+}

@@ -42,6 +42,7 @@ func main() {
 	telemetry := flag.String("telemetry", "", "write trace events and samples as JSONL to this file")
 	telemetryCSV := flag.String("telemetry-csv", "", "also write the sample time series as CSV to this file")
 	sampleEvery := flag.Uint64("sample-every", 0, "sampling interval in user-page writes (0 = exported/64)")
+	cellWorkers := flag.Int("cell-workers", 1, "intra-cell workers: pipeline trace decoding ahead of the FTL and parallelize GC copies and PHFTL retraining (1 = serial; results are byte-identical at any value)")
 	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound EVERY per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot meta-cache kinds sampled 1/16 into bounded rings); overflow drops oldest events of that kind with a stderr warning")
 	report := flag.Bool("report", false, "print the observability report after the run")
 	var prof obs.ProfileFlags
@@ -87,6 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		in.SetCellWorkers(*cellWorkers)
 		if observing {
 			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
 		}
@@ -114,6 +116,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		in.SetCellWorkers(*cellWorkers)
 		if observing {
 			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
 		}

@@ -34,6 +34,7 @@ func main() {
 	tracesFlag := flag.String("traces", "", "comma-separated trace IDs (default: all 20)")
 	schemesFlag := flag.String("schemes", "", "comma-separated schemes (default: Base,2R,SepBIT,PHFTL)")
 	parallel := flag.Int("parallel", 0, "trace×scheme cells to run concurrently (0 = GOMAXPROCS)")
+	cellWorkers := flag.Int("cell-workers", 1, "intra-cell workers: pipeline trace decoding ahead of the FTL and parallelize GC copies and PHFTL retraining within each cell (1 = serial; results are byte-identical at any value)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
 	telemetryCSV := flag.String("telemetry-csv", "", "write each cell's sample time series as <trace>_<scheme>.csv into this directory (created if missing); the golden-curve harness consumes this format")
@@ -90,7 +91,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-telemetry-csv is not supported with -op-sweep (cell file names do not encode the OP ratio)")
 			os.Exit(1)
 		}
-		code := runOPSweep(profiles, schemes, ops, *driveWrites, *parallel, *csvPath, telemetryF, *ringCap)
+		code := runOPSweep(profiles, schemes, ops, *driveWrites, *parallel, *cellWorkers, *csvPath, telemetryF, *ringCap)
 		if telemetryF != nil {
 			if err := telemetryF.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -120,6 +121,7 @@ func main() {
 		if err != nil {
 			return runner.Output{}, err
 		}
+		in.SetCellWorkers(*cellWorkers)
 		if observe {
 			sim.Observe(in, sim.ObserveConfig{RingCap: *ringCap})
 		}

@@ -44,7 +44,7 @@ const opSweepCSVHeader = "trace,scheme,op,spare_eff,wa,data_wa,user_writes,gc_wr
 // extra-flash-writes-per-user-write WA convention). Returns the process exit
 // code.
 func runOPSweep(profiles []workload.Profile, schemes []sim.Scheme, ops []float64,
-	driveWrites, parallel int, csvPath string, telemetry *os.File, ringCap int) int {
+	driveWrites, parallel, cellWorkers int, csvPath string, telemetry *os.File, ringCap int) int {
 	byID := make(map[string]workload.Profile, len(profiles))
 	cells := make([]runner.Cell, 0, len(profiles)*len(ops)*len(schemes))
 	for _, p := range profiles {
@@ -62,6 +62,7 @@ func runOPSweep(profiles []workload.Profile, schemes []sim.Scheme, ops []float64
 		if err != nil {
 			return runner.Output{}, err
 		}
+		in.SetCellWorkers(cellWorkers)
 		if telemetry != nil {
 			sim.Observe(in, sim.ObserveConfig{RingCap: ringCap})
 		}

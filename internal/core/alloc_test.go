@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/phftl/phftl/internal/ftl"
@@ -67,5 +68,63 @@ func TestWritePathZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(runs, write); allocs != 0 {
 		t.Errorf("steady-state write allocates %.2f per call, want 0", allocs)
+	}
+}
+
+// TestWritePathBytesCeiling bounds the amortized heap traffic of the
+// steady-state write path INCLUDING window retraining: unlike
+// TestWritePathZeroAllocs (which measures between retrain boundaries), this
+// spans several full training windows — probe labeling, resampling, the
+// sharded trainer, threshold search and quantized deployment — and asserts
+// the whole loop averages under 100 bytes of allocation per user write.
+// Every window-boundary buffer is pooled on the PHFTL side, so steady-state
+// retraining rides on warm scratch instead of reallocating it each window.
+func TestWritePathBytesCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	f, p, err := Build(allocTestGeo(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	write := func() {
+		lpn := nand.LPN(rng.Intn(f.ExportedPages()))
+		if err := f.Write(ftl.UserWrite{LPN: lpn, ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up past the first deploys so every pooled buffer has reached its
+	// steady-state capacity.
+	for lpn := 0; lpn < f.ExportedPages(); lpn++ {
+		if err := f.Write(ftl.UserWrite{LPN: nand.LPN(lpn), ReqPages: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*f.ExportedPages(); i++ {
+		write()
+	}
+	if p.Stats().Deploys == 0 {
+		t.Fatal("warmup deployed no model")
+	}
+	writes := 4 * p.windowSize // spans >= 4 retrain boundaries
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	windows := p.Stats().Windows
+	for i := 0; i < writes; i++ {
+		write()
+	}
+	runtime.ReadMemStats(&after)
+	if got := p.Stats().Windows - windows; got < 3 {
+		t.Fatalf("measurement crossed only %d retrain windows, want >= 3", got)
+	}
+	perOp := float64(after.TotalAlloc-before.TotalAlloc) / float64(writes)
+	t.Logf("amortized heap traffic: %.1f B/write over %d writes", perOp, writes)
+	if perOp >= 100 {
+		t.Errorf("steady-state write path allocates %.1f B/write amortized, want < 100", perOp)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
 	}
 }

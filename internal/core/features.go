@@ -20,6 +20,13 @@ const (
 // one neuron, plus one binary neuron for is_seq.
 const InputDim = digitsPrevLifetime + digitsIOLen + 1 + digitsChunkWrite + digitsChunkRead + digitsRWRat
 
+// TailDim is the width of the feature tail — every dimension except the
+// prev_lifetime digits. The tail depends only on the op stream (request
+// shape plus chunk/global traffic statistics), never on FTL state, which is
+// what lets the pipelined replay front stage precompute it ahead of the FTL
+// (see TailTracker).
+const TailDim = InputDim - digitsPrevLifetime
+
 // MaxLifetimeFeature saturates prev_lifetime for never-written pages.
 const MaxLifetimeFeature = 1<<(4*digitsPrevLifetime) - 1
 
@@ -95,6 +102,14 @@ func (fe *FeatureExtractor) Decay() {
 func (fe *FeatureExtractor) Encode(dst []float64, lpn nand.LPN, prevLifetime uint64, ioLen int, seq bool) []float64 {
 	dst = dst[:0]
 	dst = ml.HexDigits(dst, prevLifetime, digitsPrevLifetime)
+	return fe.EncodeTail(dst, lpn, ioLen, seq)
+}
+
+// EncodeTail appends the TailDim feature-tail values (io_len, is_seq,
+// chunk_write, chunk_read, rw_rat) for a write to lpn onto dst. Unlike
+// Encode it does not reset dst, so callers can prepend the prev_lifetime
+// digits themselves.
+func (fe *FeatureExtractor) EncodeTail(dst []float64, lpn nand.LPN, ioLen int, seq bool) []float64 {
 	dst = ml.HexDigits(dst, uint64(ioLen), digitsIOLen)
 	dst = ml.Bit(dst, seq)
 	c := fe.chunkOf(lpn)

@@ -11,6 +11,7 @@ import (
 	"github.com/phftl/phftl/internal/ml"
 	"github.com/phftl/phftl/internal/nand"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/par"
 )
 
 // Stream layout: two user streams selected by the Page Classifier plus one
@@ -176,7 +177,31 @@ type PHFTL struct {
 	hScratch []float64
 	oobBuf   []byte
 	err      error // first internal error (surfaced via Err)
+
+	// stagedTail, when valid, is a precomputed feature tail for the next
+	// user write (pipelined replay front stage, see TailTracker + StageTail).
+	// It replaces only the EncodeTail computation; all of PHFTL's own
+	// statistics bookkeeping proceeds unchanged.
+	stagedTail []float64
+	stagedSet  bool
+
+	// trainer runs the per-window retraining data-parallel over a fixed
+	// number of gradient shards; deployed weights depend on the shard count
+	// only, never on the attached pool (see ml.ShardedTrainer).
+	trainer *ml.ShardedTrainer
+
+	// Pooled window scratch: probe set, training set, resampler. Reused
+	// across windows so endWindow stops allocating in steady state.
+	probeBuf  []probeSample
+	sampleBuf []ml.Sample
+	resample  ml.ResampleScratch
 }
+
+// TrainerLanes is the fixed gradient-shard count of the window retrainer.
+// It is a structural constant, not a tuning knob: changing it changes the
+// gradient summation order and therefore the deployed weights (the golden
+// curves pin the current value).
+const TrainerLanes = 4
 
 // New creates a PHFTL scheme for the given geometry and exported capacity.
 // Attach must be called with the owning FTL before the first write. Most
@@ -240,6 +265,7 @@ func New(geo nand.Geometry, exportedPages int, opts Options) (*PHFTL, error) {
 		predThresh:  make([]float64, exportedPages),
 		rng:         rng,
 		hScratch:    make([]float64, model.StateSize()),
+		trainer:     ml.NewShardedTrainer(TrainerLanes),
 	}
 	// The device ships with the initial (untrained) model so hidden states
 	// accumulate from the first write; separation activates after the first
@@ -315,6 +341,20 @@ func (p *PHFTL) SetRecorder(r obs.Recorder, clockFn func() uint64) {
 	p.rec = r
 	p.meta.SetRecorder(r, clockFn)
 }
+
+// StageTail hands the next user write's precomputed feature tail (TailDim
+// values, produced by a TailTracker fed the same op stream) to the scheme.
+// The slice must stay valid until the write reaches PlaceUserWrite, which
+// consumes it; it is used for exactly one write.
+func (p *PHFTL) StageTail(tail []float64) {
+	p.stagedTail = tail
+	p.stagedSet = true
+}
+
+// SetParallel attaches (or removes, with nil) the worker pool used for
+// data-parallel window retraining. Deployed weights are bit-identical with
+// and without a pool; only wall-clock changes.
+func (p *PHFTL) SetParallel(pool *par.Pool) { p.trainer.SetPool(pool) }
 
 // Confusion returns the runtime prediction quality against ground-truth
 // lifetimes (Table I). Call Finish first to resolve outstanding predictions.
@@ -434,7 +474,16 @@ func (p *PHFTL) PlaceUserWrite(w ftl.UserWrite, clock uint64) (int, []byte) {
 		})
 	}
 
-	x := p.feat.Encode(p.xScratch, w.LPN, prevLife, w.ReqPages, w.Seq)
+	x := p.xScratch[:0]
+	x = ml.HexDigits(x, prevLife, digitsPrevLifetime)
+	if p.stagedSet {
+		// The front stage already computed the tail from the op stream; only
+		// the prev_lifetime digits need FTL state.
+		x = append(x, p.stagedTail...)
+		p.stagedSet = false
+	} else {
+		x = p.feat.EncodeTail(x, w.LPN, w.ReqPages, w.Seq)
+	}
 	p.xScratch = x
 
 	// Device-side prediction: one GRU step from the cached hidden state.
@@ -607,7 +656,7 @@ func (p *PHFTL) endWindow(now uint64) {
 	// negative class and flatten the accuracy landscape the hill-climb
 	// needs. The GRU's training set below keeps the censored examples —
 	// without them the model would never see long-living feature patterns.
-	probes := make([]probeSample, 0, len(p.examples))
+	probes := p.probeBuf[:0]
 	for i := range p.examples {
 		ex := &p.examples[i]
 		if ex.censored {
@@ -618,6 +667,7 @@ func (p *PHFTL) endWindow(now uint64) {
 			lifetime: ex.lifetime,
 		})
 	}
+	p.probeBuf = probes
 	oldThreshold := p.threshold
 	if t := p.adj.Pick(p.lifetimes, probes); t > 0 {
 		p.threshold = t
@@ -637,7 +687,7 @@ func (p *PHFTL) endWindow(now uint64) {
 	}
 
 	if p.threshold > 0 {
-		var samples []ml.Sample
+		labeled := p.sampleBuf[:0]
 		for i := range p.examples {
 			ex := &p.examples[i]
 			if ex.censored && ex.lifetime < p.threshold {
@@ -647,22 +697,29 @@ func (p *PHFTL) endWindow(now uint64) {
 			if ex.lifetime < p.threshold {
 				label = 1
 			}
-			samples = append(samples, ml.Sample{Seq: ex.seq, Label: label})
+			labeled = append(labeled, ml.Sample{Seq: ex.seq, Label: label})
 		}
-		samples = ml.ResampleBalanced(samples, 0, p.opts.Seed+int64(p.stats.Windows))
+		p.sampleBuf = labeled
+		samples := p.resample.Resample(labeled, 0, p.opts.Seed+int64(p.stats.Windows))
 		deployed := int64(0)
 		var trainDur time.Duration
 		if len(samples) >= 8 {
 			cfg := p.opts.Train
 			cfg.Seed = p.opts.Seed + int64(p.stats.Windows)
 			trainStart := time.Now()
-			p.stats.LastTrainLoss = ml.TrainModel(p.model, samples, p.opt, cfg)
+			p.stats.LastTrainLoss = p.trainer.Train(p.model, samples, p.opt, cfg)
 			trainDur = time.Since(trainStart)
 			p.stats.TrainedExamples += uint64(len(samples))
-			if p.opts.Quantize {
-				p.deployed = p.model.QuantizeModel()
-			} else {
-				p.deployed = p.model.CloneModel()
+			// Deploy in place: copy (and optionally quantize) the trained
+			// weights into the device-side model rather than allocating a
+			// fresh one. The fallback covers a deployed model of a different
+			// shape (cannot happen today, but stays correct if it could).
+			if !ml.SyncModel(p.deployed, p.model, p.opts.Quantize) {
+				if p.opts.Quantize {
+					p.deployed = p.model.QuantizeModel()
+				} else {
+					p.deployed = p.model.CloneModel()
+				}
 			}
 			p.trainedOnce = true
 			p.deployClock = now

@@ -1,0 +1,50 @@
+package core
+
+import "github.com/phftl/phftl/internal/nand"
+
+// TailTracker is the pipelined-replay front stage's replica of PHFTL's
+// feature-tail statistics. The tail (io_len, is_seq, chunk_write, chunk_read,
+// rw_rat — see TailDim) depends only on the op stream, so a tracker fed the
+// same wrapped LPN sequence as the FTL reproduces PHFTL's EncodeTail output
+// bit for bit, one pipeline stage ahead of the write reaching the FTL.
+//
+// The tracker is deliberately redundant: PHFTL keeps all of its own
+// bookkeeping (NoteWrite, NoteRead, window Decay) regardless of staging, and
+// a staged tail only replaces the EncodeTail computation. A diverging replica
+// can therefore only produce wrong feature values — caught by the
+// determinism tests — never corrupt scheme state.
+//
+// A TailTracker is single-owner (the front-stage goroutine).
+type TailTracker struct {
+	feat         *FeatureExtractor
+	windowSize   int
+	windowWrites int
+}
+
+// NewTailTracker builds a tracker sized identically to the scheme's own
+// extractor and window, guaranteeing replica agreement.
+func (p *PHFTL) NewTailTracker() *TailTracker {
+	return &TailTracker{
+		feat:       NewFeatureExtractor(p.exported, p.opts.ChunkPages),
+		windowSize: p.windowSize,
+	}
+}
+
+// EncodeWrite appends the feature tail for the next user write to lpn onto
+// dst[:0] and advances the replica exactly as PHFTL will when the write
+// reaches it: encode before noting the write (features describe history),
+// then decay at the window boundary.
+func (t *TailTracker) EncodeWrite(dst []float64, lpn nand.LPN, ioLen int, seq bool) []float64 {
+	dst = t.feat.EncodeTail(dst[:0], lpn, ioLen, seq)
+	t.feat.NoteWrite(lpn)
+	t.windowWrites++
+	if t.windowWrites >= t.windowSize {
+		t.windowWrites = 0
+		t.feat.Decay()
+	}
+	return dst
+}
+
+// NoteRead mirrors PHFTL.OnUserRead, which the FTL invokes for every host
+// read inside exported capacity (mapped or not).
+func (t *TailTracker) NoteRead(lpn nand.LPN) { t.feat.NoteRead(lpn) }

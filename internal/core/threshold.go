@@ -22,6 +22,12 @@ type ThresholdAdjuster struct {
 	prevDir      int
 	seed         int64
 	last         Decision
+
+	// Pooled probe machinery: three candidates are probed per window, so the
+	// labeling buffers and the logistic-regression evaluator are reused
+	// across windows instead of reallocated (results are bit-identical).
+	probe probeScratch
+	eval  ml.LogRegEvaluator
 }
 
 // Decision describes how the last Pick call arrived at its threshold, for
@@ -77,7 +83,18 @@ type probeSample struct {
 // LabelAndResample. Censored samples whose elapsed time has not yet exceeded
 // t are unknowable and skipped.
 func labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, []int) {
-	var posF, negF [][]float64
+	return new(probeScratch).labelAndResample(samples, t, cap)
+}
+
+// probeScratch pools labelAndResample's buffers; the returned slices alias
+// the scratch and are overwritten by the next call.
+type probeScratch struct {
+	posF, negF, feats [][]float64
+	labels            []int
+}
+
+func (ps *probeScratch) labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, []int) {
+	posF, negF := ps.posF[:0], ps.negF[:0]
 	for i := range samples {
 		s := &samples[i]
 		if s.lifetime < t {
@@ -89,6 +106,7 @@ func labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, [
 			negF = append(negF, s.feat)
 		}
 	}
+	ps.posF, ps.negF = posF, negF
 	n := len(posF)
 	if len(negF) < n {
 		n = len(negF)
@@ -96,12 +114,13 @@ func labelAndResample(samples []probeSample, t float64, cap int) ([][]float64, [
 	if cap > 0 && n > cap {
 		n = cap
 	}
-	feats := make([][]float64, 0, 2*n)
-	labels := make([]int, 0, 2*n)
+	feats := ps.feats[:0]
+	labels := ps.labels[:0]
 	for i := 0; i < n; i++ {
 		feats = append(feats, posF[i], negF[i])
 		labels = append(labels, 1, 0)
 	}
+	ps.feats, ps.labels = feats, labels
 	return feats, labels
 }
 
@@ -136,11 +155,11 @@ func (ta *ThresholdAdjuster) Pick(lifetimes []float64, samples []probeSample) fl
 		if dir != 0 && t == bestT {
 			continue // percentile step collapsed onto the same value
 		}
-		feats, labels := labelAndResample(samples, t, 2048)
+		feats, labels := ta.probe.labelAndResample(samples, t, 2048)
 		if len(feats) == 0 {
 			continue
 		}
-		accu := ml.TrainEvalLogReg(feats, labels, ta.seed)
+		accu := ta.eval.Eval(feats, labels, ta.seed)
 		if accu > bestAccu {
 			bestAccu = accu
 			bestT = t

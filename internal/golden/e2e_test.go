@@ -2,6 +2,8 @@ package golden_test
 
 import (
 	"bytes"
+	"os"
+	"strings"
 	"testing"
 
 	"github.com/phftl/phftl/internal/core"
@@ -103,52 +105,83 @@ func TestGCPolicyPerturbationFlagged(t *testing.T) {
 	}
 }
 
-// Additive-columns compatibility pin: the checked-in baselines predate the
-// wear_skew/wear_cov CSV columns, while a fresh replay now emits them. The
-// compared-column mechanism must keep such a pair green — old baselines stay
-// valid because new columns are appended at the end of the row and only
-// ComparedColumns are examined. If this test fails, either a new column
-// landed in the middle of the row (breaking historical positions) or the
-// differ started comparing columns the baselines do not carry.
+// historicalColumns is the CSV header as it stood before the wear PR added
+// wear_skew/wear_cov: baselines of that vintage survive in the wild, so new
+// columns must only ever be appended after these and the differ must keep an
+// old-header baseline green against a new-header replay.
+var historicalColumns = []string{
+	"interval_wa", "cum_wa", "free_sb", "threshold", "cache_hit",
+	"queue_depth", "lat_p50_ms", "lat_p99_ms", "open_fill_mean",
+}
+
+// historicalFields is the per-row CSV field count of that vintage: the
+// clock column plus the value columns above.
+const historicalFields = 10
+
+// Additive-columns compatibility pin: a baseline recorded before the
+// wear_skew/wear_cov columns existed has a shorter header than a fresh
+// replay, and the compared-column mechanism must keep such a pair green —
+// old baselines stay valid because new columns are appended at the end of
+// the row and only ComparedColumns are examined. The legacy-vintage file is
+// derived from the checked-in baseline by truncating every row to the
+// historical header (values are identical by construction, as they were for
+// real pre-wear baselines: the wear PR changed no sampled behavior). If
+// this test fails, either a new column landed in the middle of the row
+// (breaking historical positions) or the differ started comparing columns
+// the old baselines do not carry.
 func TestGoldenBaselineToleratesAdditiveColumns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("replays a full golden cell")
+	raw, err := os.ReadFile("../../testdata/golden/52_PHFTL.csv")
+	if err != nil {
+		t.Fatal(err)
 	}
-	const id, dw = "#52", 4 // mirrors make golden: GOLDEN_TRACES cell at GOLDEN_DW
-	baseline, err := golden.LoadSeries("../../testdata/golden/52_PHFTL.csv")
+	current, err := golden.ReadSeries(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, col := range []string{"wear_skew", "wear_cov"} {
-		if baseline.Column(col) != nil {
-			t.Fatalf("baseline already carries %s — regenerate-proof pin lost; rewrite this test against a pre-wear baseline fixture", col)
+		if current.Column(col) == nil {
+			t.Fatalf("checked-in baseline is missing the %s column", col)
+		}
+	}
+	// Historical positions must not move: the current header must be the
+	// pre-wear header plus appended columns.
+	if len(current.Columns) < len(historicalColumns) {
+		t.Fatalf("current header %v shorter than the historical one %v", current.Columns, historicalColumns)
+	}
+	for i, col := range historicalColumns {
+		if current.Columns[i] != col {
+			t.Fatalf("column %d moved: historical %q, current %q — historical positions must not change", i, col, current.Columns[i])
 		}
 	}
 
-	p, _ := workload.ProfileByID(id)
-	geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-	in, err := sim.Build(sim.SchemePHFTL, geo, nil)
+	// Truncate every row to the historical column count to reconstruct a
+	// pre-wear-vintage baseline file.
+	var legacy bytes.Buffer
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		fields := strings.Split(line, ",")
+		if len(fields) < historicalFields {
+			t.Fatalf("row has %d fields, want >= %d: %q", len(fields), historicalFields, line)
+		}
+		legacy.WriteString(strings.Join(fields[:historicalFields], ","))
+		legacy.WriteByte('\n')
+	}
+	old, err := golden.ReadSeries(&legacy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh := runSeries(t, in, id, dw)
 	for _, col := range []string{"wear_skew", "wear_cov"} {
-		if fresh.Column(col) == nil {
-			t.Fatalf("fresh replay is missing the %s column", col)
-		}
-	}
-	// The new columns must sit strictly after every baseline column.
-	if n := len(baseline.Columns); len(fresh.Columns) < n+2 {
-		t.Fatalf("fresh header %v is not baseline header + appended columns %v", fresh.Columns, baseline.Columns)
-	}
-	for i, col := range baseline.Columns {
-		if fresh.Columns[i] != col {
-			t.Fatalf("column %d moved: baseline %q, fresh %q — historical positions must not change", i, col, fresh.Columns[i])
+		if old.Column(col) != nil {
+			t.Fatalf("legacy view still carries %s", col)
 		}
 	}
 
-	r := golden.Compare(baseline, fresh, nil)
+	r := golden.Compare(old, current, nil)
 	if r.Divergent() {
-		t.Fatalf("fresh replay diverged from checked-in baseline despite additive-only columns:\n%s", r)
+		t.Fatalf("new-header series diverged from old-header baseline despite additive-only columns:\n%s", r)
+	}
+	for _, c := range r.Columns {
+		if c.Compared != old.Len() {
+			t.Errorf("column %s compared %d of %d samples", c.Column, c.Compared, old.Len())
+		}
 	}
 }

@@ -42,6 +42,7 @@ type GRUNet struct {
 	bwA, bwB           []float64
 	daZ, daR, daC, drh []float64
 	dhScratch          []float64
+	scrProbs           []float64 // softmax scratch for AccumulateGradients
 }
 
 // NumClassesDefault is the binary short-living / long-living output of the
@@ -294,12 +295,27 @@ func (n *GRUNet) CloneModel() SequenceModel { return n.Clone() }
 // QuantizeModel implements SequenceModel.
 func (n *GRUNet) QuantizeModel() SequenceModel { return n.Quantize() }
 
+// ShadowClone implements SequenceModel: parameter Data is shared with the
+// receiver, gradients and scratch are private (see Tensor.Shadow).
+func (n *GRUNet) ShadowClone() SequenceModel {
+	return &GRUNet{
+		In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses,
+		Wz: n.Wz.Shadow(), Uz: n.Uz.Shadow(), Bz: n.Bz.Shadow(),
+		Wr: n.Wr.Shadow(), Ur: n.Ur.Shadow(), Br: n.Br.Shadow(),
+		Wc: n.Wc.Shadow(), Uc: n.Uc.Shadow(), Bc: n.Bc.Shadow(),
+		Wout: n.Wout.Shadow(), Bout: n.Bout.Shadow(),
+	}
+}
+
 // AccumulateGradients implements SequenceModel: forward + BPTT for one
 // labeled sequence, accumulating parameter gradients.
 func (n *GRUNet) AccumulateGradients(seq [][]float64, label int) float64 {
 	traces, h := n.forward(seq)
 	logits := n.Logits(h)
-	loss, dLogits := SoftmaxCrossEntropy(logits, label)
+	if len(n.scrProbs) != n.NumClasses {
+		n.scrProbs = make([]float64, n.NumClasses)
+	}
+	loss, dLogits := SoftmaxCrossEntropyInto(logits, label, n.scrProbs)
 	outerAddGrad(n.Wout, dLogits, h)
 	addGrad(n.Bout, dLogits)
 	n.ensureTrainScratch()

@@ -37,8 +37,14 @@ func (m *LogReg) Train(features [][]float64, labels []int, epochs int, lr float6
 	if len(features) == 0 {
 		return
 	}
-	rng := rand.New(rand.NewSource(seed))
 	order := make([]int, len(features))
+	m.trainWith(features, labels, epochs, lr, rand.New(rand.NewSource(seed)), order)
+}
+
+// trainWith is Train against caller-owned scratch: rng must be freshly seeded
+// (its stream replaces rand.New(rand.NewSource(seed))) and order must have
+// len(features) elements, which trainWith overwrites.
+func (m *LogReg) trainWith(features [][]float64, labels []int, epochs int, lr float64, rng *rand.Rand, order []int) {
 	for i := range order {
 		order[i] = i
 	}
@@ -78,27 +84,61 @@ func (m *LogReg) Accuracy(features [][]float64, labels []int) float64 {
 // remaining 30% (falling back to training accuracy for tiny sets). The split
 // is deterministic for the seed.
 func TrainEvalLogReg(features [][]float64, labels []int, seed int64) float64 {
+	return new(LogRegEvaluator).Eval(features, labels, seed)
+}
+
+// LogRegEvaluator is TrainEvalLogReg with pooled scratch: the RNG, the split
+// permutation, the train/test views and the model weights are all reused
+// across calls, so the per-window threshold probes (three per window in
+// Algorithm 1) stop allocating. The zero value is ready to use; results are
+// bit-identical to TrainEvalLogReg for the same inputs.
+type LogRegEvaluator struct {
+	rng      *rand.Rand
+	order    []int
+	trF, teF [][]float64
+	trL, teL []int
+	model    LogReg
+}
+
+// Eval is TrainEvalLogReg against the pooled scratch.
+func (ev *LogRegEvaluator) Eval(features [][]float64, labels []int, seed int64) float64 {
 	n := len(features)
 	if n == 0 {
 		return 0
 	}
 	dim := len(features[0])
-	rng := rand.New(rand.NewSource(seed))
-	order := make([]int, n)
+	if ev.rng == nil {
+		ev.rng = rand.New(rand.NewSource(seed))
+	} else {
+		ev.rng.Seed(seed)
+	}
+	if cap(ev.order) < n {
+		ev.order = make([]int, n)
+	}
+	order := ev.order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	ev.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	m := &ev.model
+	if cap(m.W) < dim {
+		m.W = make([]float64, dim)
+	}
+	m.W = m.W[:dim]
+	for i := range m.W {
+		m.W[i] = 0
+	}
+	m.B = 0
 	cut := n * 7 / 10
 	if cut < 1 || n-cut < 1 {
-		m := NewLogReg(dim)
-		m.Train(features, labels, 20, 0.1, seed)
+		// LogReg.Train builds its own generator from the same seed, so the
+		// training stream restarts; reseeding reproduces that exactly.
+		ev.rng.Seed(seed)
+		m.trainWith(features, labels, 20, 0.1, ev.rng, order)
 		return m.Accuracy(features, labels)
 	}
-	trF := make([][]float64, 0, cut)
-	trL := make([]int, 0, cut)
-	teF := make([][]float64, 0, n-cut)
-	teL := make([]int, 0, n-cut)
+	trF, trL := ev.trF[:0], ev.trL[:0]
+	teF, teL := ev.teF[:0], ev.teL[:0]
 	for i, idx := range order {
 		if i < cut {
 			trF = append(trF, features[idx])
@@ -108,7 +148,8 @@ func TrainEvalLogReg(features [][]float64, labels []int, seed int64) float64 {
 			teL = append(teL, labels[idx])
 		}
 	}
-	m := NewLogReg(dim)
-	m.Train(trF, trL, 40, 0.1, seed)
+	ev.trF, ev.trL, ev.teF, ev.teL = trF, trL, teF, teL
+	ev.rng.Seed(seed)
+	m.trainWith(trF, trL, 40, 0.1, ev.rng, order[:cut])
 	return m.Accuracy(teF, teL)
 }

@@ -94,6 +94,22 @@ func (n *LSTMNet) CloneModel() SequenceModel {
 	return c
 }
 
+// ShadowClone implements SequenceModel: parameter Data is shared with the
+// receiver, gradients and scratch are private (see Tensor.Shadow).
+func (n *LSTMNet) ShadowClone() SequenceModel {
+	c := &LSTMNet{In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses}
+	src := n.Params()
+	dst := []**Tensor{
+		&c.Wi, &c.Ui, &c.Bi, &c.Wf, &c.Uf, &c.Bf,
+		&c.Wo, &c.Uo, &c.Bo, &c.Wg, &c.Ug, &c.Bg,
+		&c.Wout, &c.Bout,
+	}
+	for i, t := range src {
+		*dst[i] = t.Shadow()
+	}
+	return c
+}
+
 // QuantizeModel implements SequenceModel.
 func (n *LSTMNet) QuantizeModel() SequenceModel {
 	q := n.CloneModel().(*LSTMNet)

@@ -61,6 +61,16 @@ func (n *MLPNet) CloneModel() SequenceModel {
 	}
 }
 
+// ShadowClone implements SequenceModel: parameter Data is shared with the
+// receiver, gradients and scratch are private (see Tensor.Shadow).
+func (n *MLPNet) ShadowClone() SequenceModel {
+	return &MLPNet{
+		In: n.In, Hidden: n.Hidden, NumClasses: n.NumClasses,
+		W1: n.W1.Shadow(), B1: n.B1.Shadow(),
+		Wout: n.Wout.Shadow(), Bout: n.Bout.Shadow(),
+	}
+}
+
 // QuantizeModel implements SequenceModel.
 func (n *MLPNet) QuantizeModel() SequenceModel {
 	q := n.CloneModel().(*MLPNet)

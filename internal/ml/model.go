@@ -50,6 +50,11 @@ type SequenceModel interface {
 	CloneModel() SequenceModel
 	// QuantizeModel returns a copy with parameters snapped to the int8 grid.
 	QuantizeModel() SequenceModel
+	// ShadowClone returns a gradient shadow of the model: weights are shared
+	// with the receiver (Tensor.Shadow), gradients and scratch are private.
+	// Shadows support concurrent AccumulateGradients against frozen weights;
+	// they must not be trained directly (their Data aliases the original's).
+	ShadowClone() SequenceModel
 }
 
 // Compile-time conformance.
@@ -58,6 +63,38 @@ var (
 	_ SequenceModel = (*LSTMNet)(nil)
 	_ SequenceModel = (*MLPNet)(nil)
 )
+
+// SyncModel copies src's parameters into dst in place, optionally snapping
+// them onto the int8 grid, and reports whether the models were compatible
+// (same parameter shapes). A successful SyncModel(dst, src, true) leaves dst
+// numerically identical to src.QuantizeModel() — and SyncModel(dst, src,
+// false) to src.CloneModel() — without allocating a fresh model, which is
+// what keeps PHFTL's per-window deployment off the heap.
+func SyncModel(dst, src SequenceModel, quantize bool) bool {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return false
+	}
+	for i, s := range sp {
+		d := dp[i]
+		if d.Rows != s.Rows || d.Cols != s.Cols {
+			return false
+		}
+		// A shadow of src must never be synced: quantizing it in place would
+		// corrupt src's own weights through the shared backing array.
+		if len(d.Data) > 0 && &d.Data[0] == &s.Data[0] {
+			return false
+		}
+	}
+	for i, s := range sp {
+		d := dp[i]
+		copy(d.Data, s.Data)
+		if quantize {
+			QuantizeTensor(d)
+		}
+	}
+	return true
+}
 
 // TrainModel trains any SequenceModel on the samples with Adam, mirroring
 // TrainEpochs (which remains for the GRU fast path).
@@ -124,10 +161,22 @@ type shuffler struct {
 
 func newShuffler(seed int64, n int) *shuffler {
 	s := &shuffler{rng: newRandSource(seed), ord: make([]int, n)}
+	s.reset(seed, n)
+	return s
+}
+
+// reset restores the shuffler to the state of newShuffler(seed, n), reusing
+// its buffers: the identity order and a freshly-seeded stream. Pooled callers
+// (ShardedTrainer) use this to train every window without reallocating.
+func (s *shuffler) reset(seed int64, n int) {
+	s.rng.reseed(seed)
+	if cap(s.ord) < n {
+		s.ord = make([]int, n)
+	}
+	s.ord = s.ord[:n]
 	for i := range s.ord {
 		s.ord[i] = i
 	}
-	return s
 }
 
 func (s *shuffler) order() []int {

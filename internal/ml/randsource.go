@@ -11,3 +11,7 @@ func newRandSource(seed int64) *randSource {
 }
 
 func (s *randSource) shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// reseed restarts the stream as if freshly constructed with seed, without
+// allocating a new generator.
+func (s *randSource) reseed(seed int64) { s.r.Seed(seed) }

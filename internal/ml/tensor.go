@@ -62,6 +62,15 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// Shadow returns a gradient shadow of the tensor: Data is shared with the
+// receiver (weight updates propagate automatically), Grad is private. Shadow
+// tensors let several goroutines accumulate gradients from the same weights
+// concurrently; the owner then reduces the shadow gradients in a fixed order
+// (see ShardedTrainer).
+func (t *Tensor) Shadow() *Tensor {
+	return &Tensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data, Grad: make([]float64, len(t.Grad))}
+}
+
 // String describes the tensor shape.
 func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols) }
 

@@ -55,6 +55,13 @@ func (a *Adam) Update(params []*Tensor, batch int) {
 // SoftmaxCrossEntropy returns the loss and the gradient w.r.t. the logits
 // for a single sample with integer label.
 func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	return SoftmaxCrossEntropyInto(logits, label, make([]float64, len(logits)))
+}
+
+// SoftmaxCrossEntropyInto is the allocation-free form of SoftmaxCrossEntropy:
+// probs is caller-owned scratch of len(logits), overwritten with the gradient
+// (which is also returned). Numerically identical to SoftmaxCrossEntropy.
+func SoftmaxCrossEntropyInto(logits []float64, label int, probs []float64) (float64, []float64) {
 	maxL := logits[0]
 	for _, v := range logits[1:] {
 		if v > maxL {
@@ -62,7 +69,6 @@ func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
 		}
 	}
 	sum := 0.0
-	probs := make([]float64, len(logits))
 	for i, v := range logits {
 		probs[i] = math.Exp(v - maxL)
 		sum += probs[i]
@@ -175,7 +181,24 @@ func EvalAccuracy(n *GRUNet, samples []Sample) float64 {
 // undersampling the majority class, capped at maxPerClass per class.
 // The selection is deterministic for a given seed.
 func ResampleBalanced(samples []Sample, maxPerClass int, seed int64) []Sample {
-	var pos, neg []int
+	return new(ResampleScratch).Resample(samples, maxPerClass, seed)
+}
+
+// ResampleScratch holds the reusable buffers (and reseedable RNG) behind
+// ResampleBalanced, so a caller that resamples every window — PHFTL's
+// endWindow — stops paying ~5 KB of rand.Rand plus three slices per call.
+// The zero value is ready to use; results are bit-identical to
+// ResampleBalanced for the same (samples, maxPerClass, seed).
+type ResampleScratch struct {
+	rng      *rand.Rand
+	pos, neg []int
+	out      []Sample
+}
+
+// Resample is ResampleBalanced against pooled scratch. The returned slice
+// aliases the scratch and is overwritten by the next call.
+func (rs *ResampleScratch) Resample(samples []Sample, maxPerClass int, seed int64) []Sample {
+	pos, neg := rs.pos[:0], rs.neg[:0]
 	for i, s := range samples {
 		if s.Label == 1 {
 			pos = append(pos, i)
@@ -183,9 +206,16 @@ func ResampleBalanced(samples []Sample, maxPerClass int, seed int64) []Sample {
 			neg = append(neg, i)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
-	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	rs.pos, rs.neg = pos, neg
+	if rs.rng == nil {
+		rs.rng = rand.New(rand.NewSource(seed))
+	} else {
+		// Seeding an existing Rand restarts the exact stream a fresh
+		// rand.New(rand.NewSource(seed)) would produce, without allocating.
+		rs.rng.Seed(seed)
+	}
+	rs.rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rs.rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
 	n := len(pos)
 	if len(neg) < n {
 		n = len(neg)
@@ -193,9 +223,10 @@ func ResampleBalanced(samples []Sample, maxPerClass int, seed int64) []Sample {
 	if maxPerClass > 0 && n > maxPerClass {
 		n = maxPerClass
 	}
-	out := make([]Sample, 0, 2*n)
+	out := rs.out[:0]
 	for i := 0; i < n; i++ {
 		out = append(out, samples[pos[i]], samples[neg[i]])
 	}
+	rs.out = out
 	return out
 }

@@ -1,0 +1,98 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	if got := p.Lanes(); got != 1 {
+		t.Fatalf("nil pool lanes = %d, want 1", got)
+	}
+	ran := 0
+	p.Run(func(lane int) {
+		if lane != 0 {
+			t.Fatalf("nil pool ran lane %d", lane)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("nil pool ran fn %d times, want 1", ran)
+	}
+	p.Close() // no-op
+}
+
+func TestNewCollapsesToNilBelowTwoLanes(t *testing.T) {
+	for _, lanes := range []int{-1, 0, 1} {
+		if p := New(lanes); p != nil {
+			t.Fatalf("New(%d) = %v, want nil", lanes, p)
+		}
+	}
+}
+
+// TestRunCoversEveryLaneExactlyOnce drives many Run rounds and checks each
+// lane fires exactly once per round, with all writes visible at join.
+func TestRunCoversEveryLaneExactlyOnce(t *testing.T) {
+	for _, lanes := range []int{2, 3, 4, 8} {
+		p := New(lanes)
+		hits := make([]int, lanes)
+		for round := 0; round < 200; round++ {
+			p.Run(func(lane int) { hits[lane]++ })
+			for lane, h := range hits {
+				if h != round+1 {
+					t.Fatalf("lanes=%d round %d: lane %d ran %d times", lanes, round, lane, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestRunIsDeterministicUnderFixedPartition simulates the pool's intended
+// use: lane-indexed accumulation merged in fixed lane order must give the
+// same result at any lane count.
+func TestRunIsDeterministicUnderFixedPartition(t *testing.T) {
+	const items = 1000
+	want := 0.0
+	for i := 0; i < items; i++ {
+		want += float64(i) * 1.5
+	}
+	for _, lanes := range []int{1, 2, 4, 7} {
+		p := New(lanes)
+		partial := make([]float64, p.Lanes())
+		p.Run(func(lane int) {
+			sum := 0.0
+			for i := lane; i < items; i += p.Lanes() {
+				sum += float64(i) * 1.5
+			}
+			partial[lane] = sum
+		})
+		got := 0.0
+		for _, s := range partial {
+			got += s
+		}
+		if got != want {
+			t.Fatalf("lanes=%d: sum %v, want %v", lanes, got, want)
+		}
+		p.Close()
+	}
+}
+
+// TestRunZeroAllocs pins the pool's own allocation-free guarantee when fn is
+// a pre-bound function value.
+func TestRunZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := New(4)
+	defer p.Close()
+	var counter atomic.Int64
+	var fn func(int)
+	fn = func(lane int) { counter.Add(int64(lane)) }
+	// Warm one round so lazy runtime state settles.
+	p.Run(fn)
+	if allocs := testing.AllocsPerRun(100, func() { p.Run(fn) }); allocs != 0 {
+		t.Errorf("Run allocates %.2f per call, want 0", allocs)
+	}
+}

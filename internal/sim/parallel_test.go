@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/trace"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+// parallelProfiles are the two traces the intra-cell determinism suite runs:
+// the uniform-churn profile the rest of the package uses plus the hot/cold
+// golden trace, with a trim twin mixed in so the pipeline's trim path is
+// exercised too.
+func parallelProfiles() []workload.Profile {
+	p1 := smallProfile()
+	p2, ok := workload.ProfileByID("#52")
+	if !ok {
+		panic("missing profile")
+	}
+	p2.ExportedPages = 4096
+	p2 = workload.WithTrim(p2, p2.ID+"T", 0.05, 32, 128)
+	return []workload.Profile{p1, p2}
+}
+
+// runCell runs one (scheme, profile) cell at the given worker count with
+// observability attached and returns the result, the recorded events (with
+// the one nondeterministic field — window_retrain's wall-clock duration —
+// zeroed) and the gauge samples rendered to strings (NaN-safe comparison).
+func runCell(t *testing.T, scheme Scheme, p workload.Profile, workers, dw int) (Result, []obs.Event, []string) {
+	t.Helper()
+	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
+	in, err := Build(scheme, geo, nil)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", scheme, p.ID, err)
+	}
+	in.SetCellWorkers(workers)
+	if got := in.CellWorkers(); got != workers && !(workers < 1 && got == 1) {
+		t.Fatalf("CellWorkers() = %d after SetCellWorkers(%d)", got, workers)
+	}
+	o := Observe(in, ObserveConfig{})
+	res, err := RunOn(in, p, dw)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", scheme, p.ID, workers, err)
+	}
+	events := o.Rec.Events()
+	for i := range events {
+		if events[i].Kind == obs.KindWindowRetrain {
+			events[i].C = 0 // wall-clock retrain duration: the only nondeterministic field
+		}
+	}
+	samples := make([]string, 0, len(o.Sampler.Series()))
+	for _, s := range o.Sampler.Series() {
+		samples = append(samples, fmt.Sprintf("%v", s))
+	}
+	return res, events, samples
+}
+
+// victims extracts the GC victim sequence (superblock IDs in collection
+// order) from an event stream.
+func victims(events []obs.Event) []int32 {
+	var v []int32
+	for _, ev := range events {
+		if ev.Kind == obs.KindGCStart {
+			v = append(v, ev.SB)
+		}
+	}
+	return v
+}
+
+// TestCellWorkersDeterminism is the tentpole acceptance test: for every
+// (trace, scheme) cell, replaying with -cell-workers 2 and 4 must produce
+// results, event streams, GC victim sequences and telemetry samples
+// byte-identical to the serial replay. Under -race this doubles as the data
+// -race check on the pipeline, parallel GC and sharded retrainer.
+func TestCellWorkersDeterminism(t *testing.T) {
+	const dw = 2
+	for _, p := range parallelProfiles() {
+		for _, scheme := range []Scheme{SchemeBase, SchemePHFTL} {
+			t.Run(fmt.Sprintf("%s/%s", p.ID, scheme), func(t *testing.T) {
+				wantRes, wantEvents, wantSamples := runCell(t, scheme, p, 1, dw)
+				if len(wantEvents) == 0 {
+					t.Fatal("serial run recorded no events")
+				}
+				for _, workers := range []int{2, 4} {
+					res, events, samples := runCell(t, scheme, p, workers, dw)
+					if !reflect.DeepEqual(res, wantRes) {
+						t.Errorf("workers=%d: result diverges\nserial:   %+v\nparallel: %+v", workers, wantRes, res)
+					}
+					if !reflect.DeepEqual(victims(events), victims(wantEvents)) {
+						t.Errorf("workers=%d: GC victim sequence diverges", workers)
+					}
+					if !reflect.DeepEqual(events, wantEvents) {
+						t.Errorf("workers=%d: event streams diverge (%d vs %d events)", workers, len(events), len(wantEvents))
+					}
+					if !reflect.DeepEqual(samples, wantSamples) {
+						t.Errorf("workers=%d: telemetry samples diverge (%d vs %d)", workers, len(samples), len(wantSamples))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCellWorkersReplayStream pins the pipelined ReplayStream path against
+// the serial one (RunOn covers the generator path; this covers record
+// sources, including trims).
+func TestCellWorkersReplayStream(t *testing.T) {
+	p := smallProfile()
+	p.TrimFrac, p.TrimRunPages, p.SeqTrimLagPages = 0.05, 32, 128
+	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
+	records := p.NewGenerator().Records(2 * p.ExportedPages)
+
+	serial, err := Build(SchemePHFTL, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.ReplayStream(&sliceSource{recs: records}, p.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	serial.Finish()
+
+	piped, err := Build(SchemePHFTL, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped.SetCellWorkers(4)
+	if err := piped.ReplayStream(&sliceSource{recs: records}, p.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	piped.Finish()
+
+	if a, b := serial.FTL.Stats(), piped.FTL.Stats(); a != b {
+		t.Fatalf("stats diverge:\nserial: %+v\npiped:  %+v", a, b)
+	}
+	if a, b := serial.PHFTL.Confusion().Total(), piped.PHFTL.Confusion().Total(); a != b {
+		t.Fatalf("confusion totals diverge: %d vs %d", a, b)
+	}
+	if a, b := serial.PHFTL.Threshold(), piped.PHFTL.Threshold(); a != b {
+		t.Fatalf("thresholds diverge: %v vs %v", a, b)
+	}
+}
+
+// TestCellWorkersErrorPropagates checks the pipeline's abort protocol: a
+// producer error must surface from the pipelined replay exactly as it does
+// serially, without deadlocking the front stage.
+func TestCellWorkersErrorPropagates(t *testing.T) {
+	p := smallProfile()
+	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
+	in, err := Build(SchemeBase, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetCellWorkers(2)
+	wantErr := fmt.Errorf("source went away")
+	records := p.NewGenerator().Records(p.ExportedPages / 2)
+	src := &failingSource{recs: records, failAfter: len(records) / 2, err: wantErr}
+	if err := in.ReplayStream(src, p.PageSize); err != wantErr {
+		t.Fatalf("ReplayStream error = %v, want %v", err, wantErr)
+	}
+	in.Finish()
+	// The instance must remain usable serially after the abort.
+	in.SetCellWorkers(1)
+	if err := in.ReplayStream(&sliceSource{recs: records}, p.PageSize); err != nil {
+		t.Fatalf("post-abort serial replay: %v", err)
+	}
+}
+
+// failingSource yields records then fails with a fixed error.
+type failingSource struct {
+	recs      []trace.Record
+	failAfter int
+	err       error
+	i         int
+}
+
+func (s *failingSource) Next() (trace.Record, error) {
+	if s.i >= s.failAfter {
+		return trace.Record{}, s.err
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/nand"
+	"github.com/phftl/phftl/internal/trace"
+)
+
+// The pipelined replay splits one cell's work into two stages connected by a
+// bounded batch channel:
+//
+//	front stage (1 goroutine)          FTL stage (caller + worker pool)
+//	------------------------           --------------------------------
+//	trace generation / decoding   -->  replayOp: FTL write/read/trim,
+//	page-op expansion                  GC (die-parallel victim snapshot),
+//	PHFTL feature-tail encoding        window retraining (sharded)
+//
+// The front stage owns a TailTracker replica of PHFTL's feature statistics,
+// so the feature tail of every user write is computed ahead of the FTL and
+// merely consumed (StageTail) on the critical path. All ops are applied by
+// the consumer in trace order, so results are byte-identical to the serial
+// replay; the determinism tests in parallel_test.go pin this.
+const (
+	pipeBatchCap = 256 // ops per batch: amortizes channel synchronization
+	pipeInFlight = 4   // bounded buffering between the stages
+)
+
+// pipeOp is one expanded page op plus its precomputed PHFTL feature tail.
+type pipeOp struct {
+	op      trace.PageOp
+	tail    [core.TailDim]float64
+	hasTail bool
+}
+
+// pipeBatch carries a block of ops; err (if any) is the producer's terminal
+// error, observed by the consumer after the batch's ops.
+type pipeBatch struct {
+	ops []pipeOp
+	err error
+}
+
+// errPipeAborted signals the producer that the consumer stopped early.
+var errPipeAborted = errors.New("sim: pipeline aborted")
+
+// opProducer drives a source of page ops, invoking yield for each in order.
+type opProducer func(yield func(trace.PageOp) error) error
+
+// runOps replays everything produce yields: serially when cellWorkers <= 1
+// (exactly the historical code path), pipelined otherwise.
+func (in *Instance) runOps(produce opProducer) error {
+	exported := in.FTL.ExportedPages()
+	if in.cellWorkers <= 1 {
+		yield := func(op trace.PageOp) error { return in.replayOp(op, exported) }
+		return produce(yield)
+	}
+	return in.runPipelined(produce, exported)
+}
+
+// runPipelined runs produce on a front-stage goroutine and applies its ops on
+// the calling goroutine, recycling batches through a free list so the steady
+// state allocates nothing.
+func (in *Instance) runPipelined(produce opProducer, exported int) error {
+	work := make(chan *pipeBatch, pipeInFlight)
+	freeq := make(chan *pipeBatch, pipeInFlight+1)
+	for i := 0; i < pipeInFlight+1; i++ {
+		freeq <- &pipeBatch{ops: make([]pipeOp, 0, pipeBatchCap)}
+	}
+	quit := make(chan struct{})
+
+	go in.pipeFront(produce, exported, work, freeq, quit)
+
+	var firstErr error
+	for b := range work {
+		if firstErr == nil {
+			for i := range b.ops {
+				po := &b.ops[i]
+				if po.hasTail {
+					in.PHFTL.StageTail(po.tail[:])
+				}
+				if err := in.replayOp(po.op, exported); err != nil {
+					firstErr = err
+					break
+				}
+			}
+			if firstErr == nil {
+				firstErr = b.err
+			}
+			if firstErr != nil {
+				// Unblock the producer (it may be mid-send), then fall
+				// through to drain until it closes the channel.
+				close(quit)
+			}
+		}
+		select {
+		case freeq <- b:
+		default:
+		}
+	}
+	return firstErr
+}
+
+// pipeFront is the front stage: it expands ops, precomputes PHFTL feature
+// tails against a TailTracker replica, and ships batches downstream. It
+// closes work on exit.
+func (in *Instance) pipeFront(produce opProducer, exported int, work chan<- *pipeBatch, freeq <-chan *pipeBatch, quit <-chan struct{}) {
+	defer close(work)
+	var cur *pipeBatch
+	acquire := func() bool {
+		select {
+		case cur = <-freeq:
+			cur.ops = cur.ops[:0]
+			cur.err = nil
+			return true
+		case <-quit:
+			return false
+		}
+	}
+	if !acquire() {
+		return
+	}
+	var tracker *core.TailTracker
+	if in.PHFTL != nil {
+		tracker = in.PHFTL.NewTailTracker()
+	}
+	var tailBuf []float64
+	yield := func(op trace.PageOp) error {
+		po := pipeOp{op: op}
+		if tracker != nil {
+			lpn := nand.LPN(op.LPN % uint32(exported))
+			switch {
+			case op.Write:
+				tailBuf = tracker.EncodeWrite(tailBuf, lpn, op.ReqPages, op.Seq)
+				copy(po.tail[:], tailBuf)
+				po.hasTail = true
+			case op.Trim:
+				// Trims touch no feature statistics.
+			default:
+				tracker.NoteRead(lpn)
+			}
+		}
+		cur.ops = append(cur.ops, po)
+		if len(cur.ops) == pipeBatchCap {
+			select {
+			case work <- cur:
+			case <-quit:
+				return errPipeAborted
+			}
+			if !acquire() {
+				return errPipeAborted
+			}
+		}
+		return nil
+	}
+	err := produce(yield)
+	if err == errPipeAborted {
+		return // consumer already stopped; nothing left to report
+	}
+	cur.err = err
+	select {
+	case work <- cur:
+	case <-quit:
+	}
+}

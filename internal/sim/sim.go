@@ -15,6 +15,7 @@ import (
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/nand"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/par"
 	"github.com/phftl/phftl/internal/sepbit"
 	"github.com/phftl/phftl/internal/trace"
 	"github.com/phftl/phftl/internal/tworegion"
@@ -77,6 +78,43 @@ type Instance struct {
 	// Obs, when non-nil (installed by Observe), collects trace events and
 	// periodic samples during Replay/RunOn.
 	Obs *Observation
+
+	// cellWorkers/pool implement intra-cell parallelism (SetCellWorkers):
+	// a front-stage goroutine pipelines trace expansion + feature encoding
+	// ahead of the FTL, and the pool parallelizes GC victim snapshots and
+	// window retraining. 0 or 1 = fully serial (the historical behavior).
+	cellWorkers int
+	pool        *par.Pool
+}
+
+// SetCellWorkers configures intra-cell parallelism for subsequent replays.
+// n <= 1 runs fully serial — byte-identical to the historical single-threaded
+// replay. n >= 2 runs the pipelined replay with an n-lane worker pool wired
+// into the FTL's GC and (for PHFTL) the scheme's window retrainer. Results
+// are byte-identical for every n; only wall-clock changes. Call before
+// Replay/RunOn/ReplayStream; Finish releases the pool.
+func (in *Instance) SetCellWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if in.pool != nil {
+		in.pool.Close()
+		in.pool = nil
+	}
+	in.cellWorkers = n
+	in.pool = par.New(n) // nil when n == 1
+	in.FTL.SetParallel(in.pool)
+	if in.PHFTL != nil {
+		in.PHFTL.SetParallel(in.pool)
+	}
+}
+
+// CellWorkers returns the configured intra-cell worker count (minimum 1).
+func (in *Instance) CellWorkers() int {
+	if in.cellWorkers < 1 {
+		return 1
+	}
+	return in.cellWorkers
 }
 
 // Observation couples a trace recorder and a gauge sampler to an instance.
@@ -328,11 +366,16 @@ func (in *Instance) replayOp(op trace.PageOp, exported int) error {
 
 // Replay drives page-level operations through the instance.
 func (in *Instance) Replay(ops []trace.PageOp) error {
-	exported := in.FTL.ExportedPages()
-	for _, op := range ops {
-		if err := in.replayOp(op, exported); err != nil {
-			return err
+	err := in.runOps(func(yield func(trace.PageOp) error) error {
+		for _, op := range ops {
+			if err := yield(op); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if in.PHFTL != nil {
 		if err := in.PHFTL.Err(); err != nil {
@@ -348,20 +391,23 @@ func (in *Instance) Replay(ops []trace.PageOp) error {
 // page size (records are byte-addressed); drivePages for LPN wrapping is the
 // profile-independent exported capacity of the instance itself.
 func (in *Instance) ReplayStream(src trace.RecordSource, pageSize int) error {
-	exported := in.FTL.ExportedPages()
-	e := trace.NewExpander(pageSize, exported)
-	yield := func(op trace.PageOp) error { return in.replayOp(op, exported) }
-	for {
-		rec, err := src.Next()
-		if err == io.EOF {
-			break
+	e := trace.NewExpander(pageSize, in.FTL.ExportedPages())
+	err := in.runOps(func(yield func(trace.PageOp) error) error {
+		for {
+			rec, err := src.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := e.Expand(rec, yield); err != nil {
+				return err
+			}
 		}
-		if err != nil {
-			return err
-		}
-		if err := e.Expand(rec, yield); err != nil {
-			return err
-		}
+	})
+	if err != nil {
+		return err
 	}
 	if in.PHFTL != nil {
 		if err := in.PHFTL.Err(); err != nil {
@@ -371,9 +417,18 @@ func (in *Instance) ReplayStream(src trace.RecordSource, pageSize int) error {
 	return nil
 }
 
-// Finish resolves outstanding classifier predictions and takes the final
-// observation sample.
+// Finish resolves outstanding classifier predictions, takes the final
+// observation sample, and releases the intra-cell worker pool (safe because
+// pooled and serial execution produce identical results).
 func (in *Instance) Finish() {
+	if in.pool != nil {
+		in.pool.Close()
+		in.pool = nil
+		in.FTL.SetParallel(nil)
+		if in.PHFTL != nil {
+			in.PHFTL.SetParallel(nil)
+		}
+	}
 	if in.PHFTL != nil {
 		in.PHFTL.Finish(in.FTL.Clock())
 	}
@@ -414,12 +469,16 @@ func RunOn(in *Instance, p workload.Profile, driveWrites int) (Result, error) {
 	gen := p.NewGenerator()
 	target := driveWrites * p.ExportedPages
 	e := trace.NewExpander(p.PageSize, p.ExportedPages)
-	exported := in.FTL.ExportedPages()
-	yield := func(op trace.PageOp) error { return in.replayOp(op, exported) }
-	for gen.PageWrites() < target {
-		if err := e.Expand(gen.Next(), yield); err != nil {
-			return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
+	err := in.runOps(func(yield func(trace.PageOp) error) error {
+		for gen.PageWrites() < target {
+			if err := e.Expand(gen.Next(), yield); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s on %s: %w", in.Scheme, p.ID, err)
 	}
 	if in.PHFTL != nil {
 		if err := in.PHFTL.Err(); err != nil {
