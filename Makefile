@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp benchcheck smoke watop-smoke opsweep-smoke scaling-smoke golden golden-check
+.PHONY: check vet build test race fmt bench benchcmp benchcheck smoke watop-smoke opsweep-smoke scaling-smoke http-smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke watop-smoke opsweep-smoke scaling-smoke golden-check benchcheck
+check: vet build race fmt smoke watop-smoke opsweep-smoke scaling-smoke http-smoke golden-check benchcheck
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,15 @@ scaling-smoke:
 watop-smoke:
 	$(GO) run -race ./cmd/phftlsim -trace "#52" -dw 2 -telemetry /tmp/watop-smoke.jsonl > /dev/null
 	$(GO) run -race ./cmd/watop -once -f /tmp/watop-smoke.jsonl
+
+## http-smoke: the live-telemetry gate under -race — spawn a real wabench run
+## with -listen, read the bound URL off stderr, scrape /metrics (every line
+## validated against the Prometheus text exposition format), /api/v1/cells
+## and /api/v1/status while the replay executes, and require the served fleet
+## ops figure to advance monotonically. Fails on any malformed exposition
+## line, so metric renames or label-escaping regressions cannot ship silently.
+http-smoke:
+	$(GO) test -race -run 'TestHTTPSmoke' -count=1 -v ./cmd/wabench
 
 ## Golden-curve regression harness: checked-in per-cell sample CSVs
 ## (the wabench -telemetry-csv format) for GOLDEN_TRACES × {Base,PHFTL} at

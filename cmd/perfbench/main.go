@@ -20,7 +20,10 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/httpd"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/perfsim"
 	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
@@ -56,6 +59,8 @@ func main() {
 	iaPerPage := flag.Float64("iapp", 700, "phase-2 mean inter-arrival per written page, µs")
 	telemetry := flag.String("telemetry", "", "write per-run trace events and samples as JSONL to this file (lines tagged trace/scheme)")
 	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound every per-cell per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot kinds sampled); overflow drops oldest events with a stderr warning")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while the run executes (e.g. :9090 or 127.0.0.1:0): /metrics, /api/v1/status, /api/v1/cells, /api/v1/events, /debug/pprof; the bound URL is printed to stderr")
+	wallDurations := flag.Bool("wall-durations", false, "record wall-clock durations (window_retrain duration_ns) into telemetry; off by default so default telemetry stays byte-identical across runs, hosts and worker counts")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -69,6 +74,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var coreOpts *core.Options
+	if *wallDurations {
+		o := core.DefaultOptions()
+		o.WallDurations = true
+		coreOpts = &o
+	}
+	var reg *registry.Registry
+	if *listen != "" {
+		reg = registry.New()
+		srv, err := httpd.Serve(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.URL())
 	}
 
 	stopProf, err := prof.Start()
@@ -110,19 +132,28 @@ func main() {
 	cells := make([]runner.Cell, 0, len(profiles)*len(schemes))
 	for _, p := range profiles {
 		for _, s := range schemes {
-			cells = append(cells, runner.Cell{Trace: p.ID, Scheme: s})
+			cells = append(cells, runner.Cell{
+				Trace: p.ID, Scheme: s,
+				// Phase 1 load plus the phase 2 timed tail, in pages.
+				TargetOps: uint64(*driveWrites)*uint64(p.ExportedPages) + uint64(p.ExportedPages/2),
+			})
 		}
 	}
-	observe := telemetryF != nil
+	sink := telemetryF != nil
+	observe := sink || reg != nil
 	run := func(c runner.Cell) (runner.Output, error) {
 		p := byID[c.Trace]
 		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-		m, err := perfsim.NewMachine(c.Scheme, geo, perfsim.DefaultTiming(), nil)
+		m, err := perfsim.NewMachine(c.Scheme, geo, perfsim.DefaultTiming(), coreOpts)
 		if err != nil {
 			return runner.Output{}, err
 		}
 		if observe {
-			m.Observe(sim.Observe(m.In, sim.ObserveConfig{RingCap: *ringCap}))
+			cfg := sim.ObserveConfig{RingCap: *ringCap}
+			if reg != nil {
+				cfg.Cell = reg.Cell(c.RunTag()) // pre-opened by runner.Run
+			}
+			m.Observe(sim.Observe(m.In, cfg))
 		}
 		gen := p.NewGenerator()
 		load := gen.Records(*driveWrites * p.ExportedPages)
@@ -138,13 +169,15 @@ func main() {
 		out := runner.Output{Extra: phaseOut{bw: bw, stats: stats}}
 		if observe {
 			m.In.Obs.Finish(m.In.FTL.Clock())
+		}
+		if sink {
 			out.Events = m.In.Obs.Rec.Events()
 			out.Samples = m.In.Obs.Sampler.Series()
 			out.Dropped = m.In.Obs.Rec.Dropped()
 		}
 		return out, nil
 	}
-	opts := runner.Options{Parallel: *parallel, Progress: os.Stderr}
+	opts := runner.Options{Parallel: *parallel, Progress: os.Stderr, Registry: reg}
 	if telemetryF != nil {
 		opts.Telemetry = telemetryF
 	}

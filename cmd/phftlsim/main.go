@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/ftl"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/httpd"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/trace"
@@ -45,9 +48,27 @@ func main() {
 	cellWorkers := flag.Int("cell-workers", 1, "intra-cell workers: pipeline trace decoding ahead of the FTL and parallelize GC copies and PHFTL retraining (1 = serial; results are byte-identical at any value)")
 	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound EVERY per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot meta-cache kinds sampled 1/16 into bounded rings); overflow drops oldest events of that kind with a stderr warning")
 	report := flag.Bool("report", false, "print the observability report after the run")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while the run executes (e.g. :9090 or 127.0.0.1:0): /metrics, /api/v1/status, /api/v1/cells, /api/v1/events, /debug/pprof; the bound URL is printed to stderr")
+	wallDurations := flag.Bool("wall-durations", false, "record wall-clock durations (window_retrain duration_ns) into telemetry; off by default so default telemetry stays byte-identical across runs, hosts and worker counts")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	var coreOpts *core.Options
+	if *wallDurations {
+		o := core.DefaultOptions()
+		o.WallDurations = true
+		coreOpts = &o
+	}
+	var reg *registry.Registry
+	if *listen != "" {
+		reg = registry.New()
+		srv, err := httpd.Serve(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.URL())
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -68,8 +89,20 @@ func main() {
 		}
 	}
 
-	observing := *telemetry != "" || *telemetryCSV != "" || *report
+	observing := *telemetry != "" || *telemetryCSV != "" || *report || reg != nil
 	scheme := sim.Scheme(*schemeFlag)
+	// openCell registers this run as a live cell when -listen is set; a nil
+	// return keeps the serial path untouched.
+	openCell := func(traceName string, targetOps uint64) *registry.Cell {
+		if reg == nil {
+			return nil
+		}
+		c := reg.OpenCell(traceName+"/"+string(scheme), registry.CellMeta{
+			Trace: traceName, Scheme: string(scheme), TargetOps: targetOps,
+		})
+		c.SetState(registry.StateRunning)
+		return c
+	}
 	var in *sim.Instance
 	var res sim.Result
 	var wear ftl.WearReport
@@ -84,17 +117,21 @@ func main() {
 		fmt.Printf("trace %s (%s, %d pages x %d B), scheme %s, %d drive writes\n",
 			p.ID, p.DriveClass, p.ExportedPages, p.PageSize, scheme, *driveWrites)
 		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-		in, err = sim.Build(scheme, geo, nil)
+		in, err = sim.Build(scheme, geo, coreOpts)
 		if err != nil {
 			fatal(err)
 		}
 		in.SetCellWorkers(*cellWorkers)
+		cell := openCell(p.ID, uint64(*driveWrites)*uint64(p.ExportedPages))
 		if observing {
-			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap, Cell: cell})
 		}
 		res, err = sim.RunOn(in, p, *driveWrites)
 		if err != nil {
 			fatal(err)
+		}
+		if cell != nil {
+			cell.SetState(registry.StateDone)
 		}
 		wear = in.FTL.Wear()
 		lifetime = in.FTL.LifetimeWrites(3000)
@@ -112,17 +149,23 @@ func main() {
 		fmt.Printf("csv trace %s: %d writes (%d MB), %d reads, %d trims, scheme %s\n",
 			*csvPath, st.Writes, st.WriteBytes>>20, st.Reads, st.Trims, scheme)
 		geo := sim.GeometryForDrive(*pages, *pageSize)
-		in, err = sim.Build(scheme, geo, nil)
+		in, err = sim.Build(scheme, geo, coreOpts)
 		if err != nil {
 			fatal(err)
 		}
 		in.SetCellWorkers(*cellWorkers)
+		// The page-op total is only known after expansion, so the CSV path
+		// registers with an unknown target (no ETA, progress still live).
+		cell := openCell(*csvPath, 0)
 		if observing {
-			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap})
+			sim.Observe(in, sim.ObserveConfig{SampleEvery: *sampleEvery, RingCap: *ringCap, Cell: cell})
 		}
 		ops := trace.Expand(records, *pageSize, in.FTL.ExportedPages())
 		if err = in.Replay(ops); err != nil {
 			fatal(err)
+		}
+		if cell != nil {
+			cell.SetState(registry.StateDone)
 		}
 		wear = in.FTL.Wear()
 		lifetime = in.FTL.LifetimeWrites(3000)

@@ -23,7 +23,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/phftl/phftl/internal/core"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/httpd"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/workload"
@@ -40,6 +43,8 @@ func main() {
 	telemetryCSV := flag.String("telemetry-csv", "", "write each cell's sample time series as <trace>_<scheme>.csv into this directory (created if missing); the golden-curve harness consumes this format")
 	ringCap := flag.Int("ring-cap", 0, "deprecated one-size alias: bound every per-cell per-kind event ring at this many events (0 = per-kind defaults: rare kinds lossless, hot kinds sampled); overflow drops oldest events with a stderr warning")
 	opSweep := flag.String("op-sweep", "", "comma-separated overprovisioning ratios (e.g. \"0.07,0.15,0.28\"): replay each trace×scheme cell once per ratio and report WA vs OP instead of the Figure 5 table")
+	listen := flag.String("listen", "", "serve live telemetry over HTTP on this address while the run executes (e.g. :9090 or 127.0.0.1:0): /metrics, /api/v1/status, /api/v1/cells, /api/v1/events, /debug/pprof; the bound URL is printed to stderr")
+	wallDurations := flag.Bool("wall-durations", false, "record wall-clock durations (window_retrain duration_ns) into telemetry; off by default so default telemetry stays byte-identical across runs, hosts and worker counts")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +64,25 @@ func main() {
 		if s == sim.SchemePHFTL {
 			hasPHFTL = true
 		}
+	}
+
+	var coreOpts *core.Options
+	if *wallDurations {
+		o := core.DefaultOptions()
+		o.WallDurations = true
+		coreOpts = &o
+	}
+	var reg *registry.Registry
+	if *listen != "" {
+		reg = registry.New()
+		srv, err := httpd.Serve(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Stderr so stdout stays parseable; the smoke harness reads the
+		// bound URL off this line. The server lives until process exit.
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.URL())
 	}
 
 	stopProf, err := prof.Start()
@@ -91,7 +115,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-telemetry-csv is not supported with -op-sweep (cell file names do not encode the OP ratio)")
 			os.Exit(1)
 		}
-		code := runOPSweep(profiles, schemes, ops, *driveWrites, *parallel, *cellWorkers, *csvPath, telemetryF, *ringCap)
+		code := runOPSweep(profiles, schemes, ops, *driveWrites, *parallel, *cellWorkers, *csvPath, telemetryF, *ringCap, reg, coreOpts)
 		if telemetryF != nil {
 			if err := telemetryF.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -110,34 +134,44 @@ func main() {
 	for _, p := range profiles {
 		byID[p.ID] = p
 		for _, s := range schemes {
-			cells = append(cells, runner.Cell{Trace: p.ID, Scheme: s})
+			cells = append(cells, runner.Cell{
+				Trace: p.ID, Scheme: s,
+				TargetOps: uint64(*driveWrites) * uint64(p.ExportedPages),
+			})
 		}
 	}
-	observe := telemetryF != nil || *telemetryCSV != ""
+	// File sinks need the buffered events/samples carried back through the
+	// runner; the live registry needs only the Observe bridge.
+	sink := telemetryF != nil || *telemetryCSV != ""
+	observe := sink || reg != nil
 	run := func(c runner.Cell) (runner.Output, error) {
 		p := byID[c.Trace]
 		geo := sim.GeometryForDrive(p.ExportedPages, p.PageSize)
-		in, err := sim.Build(c.Scheme, geo, nil)
+		in, err := sim.Build(c.Scheme, geo, coreOpts)
 		if err != nil {
 			return runner.Output{}, err
 		}
 		in.SetCellWorkers(*cellWorkers)
 		if observe {
-			sim.Observe(in, sim.ObserveConfig{RingCap: *ringCap})
+			cfg := sim.ObserveConfig{RingCap: *ringCap}
+			if reg != nil {
+				cfg.Cell = reg.Cell(c.RunTag()) // pre-opened by runner.Run
+			}
+			sim.Observe(in, cfg)
 		}
 		res, err := sim.RunOn(in, p, *driveWrites)
 		if err != nil {
 			return runner.Output{}, err
 		}
 		out := runner.Output{Result: res}
-		if observe {
+		if sink {
 			out.Events = in.Obs.Rec.Events()
 			out.Samples = in.Obs.Sampler.Series()
 			out.Dropped = in.Obs.Rec.Dropped()
 		}
 		return out, nil
 	}
-	opts := runner.Options{Parallel: *parallel, Progress: os.Stderr}
+	opts := runner.Options{Parallel: *parallel, Progress: os.Stderr, Registry: reg}
 	if telemetryF != nil {
 		opts.Telemetry = telemetryF
 	}

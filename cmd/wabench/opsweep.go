@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/phftl/phftl/internal/core"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/runner"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/workload"
@@ -44,27 +46,35 @@ const opSweepCSVHeader = "trace,scheme,op,spare_eff,wa,data_wa,user_writes,gc_wr
 // extra-flash-writes-per-user-write WA convention). Returns the process exit
 // code.
 func runOPSweep(profiles []workload.Profile, schemes []sim.Scheme, ops []float64,
-	driveWrites, parallel, cellWorkers int, csvPath string, telemetry *os.File, ringCap int) int {
+	driveWrites, parallel, cellWorkers int, csvPath string, telemetry *os.File, ringCap int,
+	reg *registry.Registry, coreOpts *core.Options) int {
 	byID := make(map[string]workload.Profile, len(profiles))
 	cells := make([]runner.Cell, 0, len(profiles)*len(ops)*len(schemes))
 	for _, p := range profiles {
 		byID[p.ID] = p
 		for _, op := range ops {
 			for _, s := range schemes {
-				cells = append(cells, runner.Cell{Trace: p.ID, Scheme: s, OP: op})
+				cells = append(cells, runner.Cell{
+					Trace: p.ID, Scheme: s, OP: op,
+					TargetOps: uint64(driveWrites) * uint64(p.ExportedPages),
+				})
 			}
 		}
 	}
 	run := func(c runner.Cell) (runner.Output, error) {
 		p := byID[c.Trace]
 		geo := sim.GeometryForDriveOP(p.ExportedPages, p.PageSize, c.OP)
-		in, err := sim.BuildOP(c.Scheme, geo, c.OP, nil)
+		in, err := sim.BuildOP(c.Scheme, geo, c.OP, coreOpts)
 		if err != nil {
 			return runner.Output{}, err
 		}
 		in.SetCellWorkers(cellWorkers)
-		if telemetry != nil {
-			sim.Observe(in, sim.ObserveConfig{RingCap: ringCap})
+		if telemetry != nil || reg != nil {
+			cfg := sim.ObserveConfig{RingCap: ringCap}
+			if reg != nil {
+				cfg.Cell = reg.Cell(c.RunTag()) // pre-opened by runner.Run
+			}
+			sim.Observe(in, cfg)
 		}
 		res, err := sim.RunOn(in, p, driveWrites)
 		if err != nil {
@@ -87,7 +97,7 @@ func runOPSweep(profiles []workload.Profile, schemes []sim.Scheme, ops []float64
 		}
 		return out, nil
 	}
-	opts := runner.Options{Parallel: parallel, Progress: os.Stderr}
+	opts := runner.Options{Parallel: parallel, Progress: os.Stderr, Registry: reg}
 	if telemetry != nil {
 		opts.Telemetry = telemetry
 	}

@@ -1,11 +1,13 @@
 // Command watop is a live terminal dashboard over a PHFTL telemetry JSONL
 // stream (phftlsim/wabench -telemetry): sparklines for interval WA,
 // threshold, cache-hit and wear-skew, plus per-die wear bars fed by erase
-// events. It tails a file (following appends, like tail -f) or reads stdin:
+// events. It tails a file (following appends, like tail -f), reads stdin, or
+// polls a harness's -listen HTTP telemetry server:
 //
 //	phftlsim -trace '#52' -telemetry /dev/stdout | watop
 //	watop -f run.jsonl            # follow a file another process writes
 //	watop -once -f run.jsonl      # render one frame of what's there and exit
+//	watop -http :9090             # poll a wabench/phftlsim -listen server
 package main
 
 import (
@@ -20,16 +22,23 @@ import (
 func main() {
 	var (
 		file    = flag.String("f", "", "telemetry JSONL file to tail (default: read stdin)")
+		httpSrc = flag.String("http", "", "poll a -listen telemetry server (URL, host:port or :port) instead of reading a JSONL stream; /api/v1/cells feeds the gauges and /api/v1/events the event rows")
 		once    = flag.Bool("once", false, "consume what is available, render a single frame, exit")
 		refresh = flag.Duration("refresh", 500*time.Millisecond, "frame interval in live mode")
 		width   = flag.Int("width", 60, "sparkline/bar width in cells")
-		run     = flag.String("run", "", "only show lines tagged with this run id")
+		run     = flag.String("run", "", "only show lines tagged with this run id (with -http: follow this cell)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 && *file == "" {
 		*file = flag.Arg(0)
 	}
-	if err := watop(*file, *once, *refresh, *width, *run); err != nil {
+	var err error
+	if *httpSrc != "" {
+		err = watopHTTP(*httpSrc, *once, *refresh, *width, *run, os.Stdout)
+	} else {
+		err = watop(*file, *once, *refresh, *width, *run)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "watop:", err)
 		os.Exit(1)
 	}

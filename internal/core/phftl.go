@@ -65,6 +65,13 @@ type Options struct {
 	// Build (0 keeps ftl.DefaultConfig's value, the paper's 7%). OP sweeps
 	// use it to re-derive the exported capacity per spare factor.
 	OPRatio float64
+	// WallDurations, when set, measures wall-clock durations into telemetry
+	// (today: the window_retrain event's duration_ns). Off by default: wall
+	// time varies across hosts, runs and worker counts, and skipping the
+	// measurement keeps default telemetry byte-identical everywhere (the
+	// JSONL sink omits the field when the duration is 0). The harnesses
+	// expose it as -wall-durations.
+	WallDurations bool
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -706,9 +713,17 @@ func (p *PHFTL) endWindow(now uint64) {
 		if len(samples) >= 8 {
 			cfg := p.opts.Train
 			cfg.Seed = p.opts.Seed + int64(p.stats.Windows)
-			trainStart := time.Now()
+			// Wall-clock timing is opt-in (Options.WallDurations): a zero
+			// duration tells the sink to omit duration_ns, keeping default
+			// telemetry deterministic.
+			var trainStart time.Time
+			if p.opts.WallDurations {
+				trainStart = time.Now()
+			}
 			p.stats.LastTrainLoss = p.trainer.Train(p.model, samples, p.opt, cfg)
-			trainDur = time.Since(trainStart)
+			if p.opts.WallDurations {
+				trainDur = time.Since(trainStart)
+			}
 			p.stats.TrainedExamples += uint64(len(samples))
 			// Deploy in place: copy (and optionally quantize) the trained
 			// weights into the device-side model rather than allocating a

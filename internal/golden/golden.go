@@ -45,9 +45,12 @@
 //     over tols keys only, extra candidate columns are ignored
 //     automatically — which is what keeps old baselines green.
 //
-// Wall-clock-noisy fields (e.g. the window_retrain event's duration_ns) are
-// excluded by construction: they exist only in the JSONL event stream, and
-// the CSV sample format this package consumes never contains them.
+// Wall-clock-noisy fields are excluded by construction twice over: the one
+// such field (the window_retrain event's duration_ns) exists only in the
+// JSONL event stream, never in the CSV sample format this package consumes,
+// and it is only measured at all under the opt-in -wall-durations flag
+// (core.Options.WallDurations) — default telemetry is byte-identical across
+// runs, hosts and worker counts.
 //
 // # Tolerances
 //

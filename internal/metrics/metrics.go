@@ -269,6 +269,20 @@ func (h *Histogram) Add(v float64) {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the exact (unbucketed) sum of the recorded samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// BucketWidth returns the width of each bucket.
+func (h *Histogram) BucketWidth() float64 { return h.width }
+
+// AppendBuckets appends the per-bucket counts (not cumulative) to dst and
+// returns it. Bucket i covers [i·width, (i+1)·width); the final bucket also
+// absorbs every overflow sample. Exposition layers (the Prometheus /metrics
+// renderer) turn these into cumulative le-bound counts.
+func (h *Histogram) AppendBuckets(dst []uint64) []uint64 {
+	return append(dst, h.buckets...)
+}
+
 // Mean returns the mean of the recorded samples (exact, not bucketed).
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

@@ -47,8 +47,11 @@ const (
 	// threshold. A is the number of labeled training examples, B is 1 when
 	// a training pass ran and deployed a new model (0 when the window had
 	// too few examples), C the wall-clock training duration in nanoseconds
-	// (0 when skipped), F0 the last training loss and F1 the threshold the
-	// labels were cut at.
+	// (recorded only when core.Options.WallDurations — the -wall-durations
+	// flag — is set; 0 otherwise, and the JSONL sink omits the field when
+	// 0, so default telemetry streams carry no wall-clock-dependent bytes),
+	// F0 the last training loss and F1 the threshold the labels were cut
+	// at.
 	KindWindowRetrain
 	// KindMetaCacheHit records a metadata retrieval served by the RAM
 	// meta-page cache. A is the meta-page PPN.
@@ -74,6 +77,23 @@ const (
 
 	numKinds = int(KindErase) + 1
 )
+
+// NumKinds is the number of distinct Kind slots, including the catch-all
+// index 0 used for unknown kinds. Consumers that keep per-kind state (the
+// metrics registry, ring policies) size their arrays with it.
+const NumKinds = numKinds
+
+// KindByName maps a snake_case kind name (the String form used in JSONL and
+// the HTTP events endpoint) back to its Kind. Returns false for unknown
+// names.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(1); int(k) < numKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
 
 // String returns the snake_case name used in JSONL output.
 func (k Kind) String() string {

@@ -1,0 +1,255 @@
+// Package httpd is the embedded HTTP telemetry surface over a metrics
+// registry: the pull-based counterpart to the JSONL/CSV sinks. One server
+// per process exposes
+//
+//	/metrics            Prometheus text exposition v0.0.4
+//	/api/v1/status      JSON: process/fleet aggregate (uptime, cell states,
+//	                    ops, ops/sec, ETA)
+//	/api/v1/cells       JSON: per-(trace,scheme) cell state — ops, WA,
+//	                    GC passes, threshold, cache hit rate, wear skew
+//	/api/v1/events      JSONL drain of the bounded event ring
+//	                    (?kind=<name>&since=<seq>&limit=<n>)
+//	/debug/pprof/       the stdlib profiling mux
+//
+// The harnesses wire it behind -listen; cmd/watop's -http mode polls the
+// JSON endpoints. Handlers only read the registry (atomics plus short
+// critical sections), so scraping during a replay never blocks a cell.
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/registry"
+)
+
+// StatusJSON is the /api/v1/status document.
+type StatusJSON struct {
+	Service       string         `json:"service"`
+	GoVersion     string         `json:"go_version"`
+	UptimeSec     float64        `json:"uptime_sec"`
+	Goroutines    int            `json:"goroutines"`
+	Cells         map[string]int `json:"cells"` // state name -> count
+	Ops           uint64         `json:"ops"`
+	TargetOps     uint64         `json:"target_ops,omitempty"`
+	OpsPerSec     float64        `json:"ops_per_sec"`
+	ETASec        *float64       `json:"eta_sec,omitempty"`
+	Events        uint64         `json:"events"`
+	EventsDropped uint64         `json:"events_dropped"`
+}
+
+// CellJSON is one element of the /api/v1/cells document. Gauge fields are
+// pointers: a nil field means the gauge is not applicable (or not yet
+// observed), mirroring the NaN convention of the JSONL sink.
+type CellJSON struct {
+	Cell      string  `json:"cell"`
+	Trace     string  `json:"trace"`
+	Scheme    string  `json:"scheme"`
+	State     string  `json:"state"`
+	Ops       uint64  `json:"ops"`
+	TargetOps uint64  `json:"target_ops,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	UserWrites uint64 `json:"user_writes"`
+	GCWrites   uint64 `json:"gc_writes"`
+	MetaWrites uint64 `json:"meta_writes"`
+	GCPasses   uint64 `json:"gc_passes"`
+
+	IntervalWA *float64 `json:"interval_wa,omitempty"`
+	CumWA      *float64 `json:"cum_wa,omitempty"`
+	Threshold  *float64 `json:"threshold,omitempty"`
+	CacheHit   *float64 `json:"cache_hit,omitempty"`
+	WearSkew   *float64 `json:"wear_skew,omitempty"`
+	WearCoV    *float64 `json:"wear_cov,omitempty"`
+	FreeSB     *float64 `json:"free_sb,omitempty"`
+
+	Events map[string]uint64 `json:"events,omitempty"`
+}
+
+// CellsJSON is the /api/v1/cells document.
+type CellsJSON struct {
+	Cells []CellJSON `json:"cells"`
+}
+
+func optFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// cellJSON shapes one registry snapshot for the wire.
+func cellJSON(s registry.CellSnapshot) CellJSON {
+	return CellJSON{
+		Cell:       s.Name,
+		Trace:      s.Trace,
+		Scheme:     s.Scheme,
+		State:      s.State.String(),
+		Ops:        s.Ops,
+		TargetOps:  s.TargetOps,
+		OpsPerSec:  s.OpsPerSec,
+		UserWrites: s.UserWrites,
+		GCWrites:   s.GCWrites,
+		MetaWrites: s.MetaWrites,
+		GCPasses:   s.GCPasses,
+		IntervalWA: optFloat(s.IntervalWA),
+		CumWA:      optFloat(s.CumWA),
+		Threshold:  optFloat(s.Threshold),
+		CacheHit:   optFloat(s.CacheHit),
+		WearSkew:   optFloat(s.WearSkew),
+		WearCoV:    optFloat(s.WearCoV),
+		FreeSB:     optFloat(s.FreeSB),
+		Events:     s.Events,
+	}
+}
+
+// Handler builds the telemetry mux over a registry. Exposed separately from
+// Serve so tests can drive it through net/http/httptest.
+func Handler(reg *registry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Registry state is read under short locks; write errors mean the
+		// scraper hung up and need no handling beyond stopping.
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/api/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		t := reg.Totals()
+		st := StatusJSON{
+			Service:       "phftl",
+			GoVersion:     runtime.Version(),
+			UptimeSec:     reg.UptimeSeconds(),
+			Goroutines:    runtime.NumGoroutine(),
+			Cells:         make(map[string]int, registry.NumStates),
+			Ops:           t.Ops,
+			TargetOps:     t.TargetOps,
+			Events:        t.Events,
+			EventsDropped: reg.EventsDropped(),
+		}
+		for s := 0; s < registry.NumStates; s++ {
+			st.Cells[registry.State(s).String()] = t.Cells[s]
+		}
+		if st.UptimeSec > 0 {
+			st.OpsPerSec = float64(t.Ops) / st.UptimeSec
+		}
+		if t.TargetOps > t.Ops && st.OpsPerSec > 0 {
+			eta := float64(t.TargetOps-t.Ops) / st.OpsPerSec
+			st.ETASec = &eta
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/api/v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		snaps := reg.Snapshot()
+		doc := CellsJSON{Cells: make([]CellJSON, 0, len(snaps))}
+		for _, s := range snaps {
+			doc.Cells = append(doc.Cells, cellJSON(s))
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/api/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var kind obs.Kind
+		if name := q.Get("kind"); name != "" {
+			k, ok := obs.KindByName(name)
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown kind %q", name), http.StatusBadRequest)
+				return
+			}
+			kind = k
+		}
+		var since uint64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad since %q", s), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		limit := 1000
+		if s := q.Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", s), http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		events, newest := reg.EventsSince(since, kind, limit)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Next-Seq", strconv.FormatUint(newest, 10))
+		var buf []byte
+		for _, se := range events {
+			buf = obs.AppendJSONSeq(buf[:0], se.Seq, se.Ev, se.Cell)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "phftl telemetry\n\n"+
+			"  /metrics           Prometheus text exposition\n"+
+			"  /api/v1/status     fleet aggregate (JSON)\n"+
+			"  /api/v1/cells      per-cell state (JSON)\n"+
+			"  /api/v1/events     event drain (JSONL; ?kind=&since=&limit=)\n"+
+			"  /debug/pprof/      runtime profiles\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running telemetry listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving the registry on addr (host:port; :0 picks a free
+// port — read the chosen one back with Addr). The server runs until Close.
+func Serve(addr string, reg *registry.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the clean path; any other serve
+		// error leaves the process running without telemetry, which the
+		// scraper notices immediately.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (resolving a :0 request).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and all active handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,259 @@
+package httpd
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/registry"
+)
+
+// populated builds a registry with one running PHFTL cell and one queued
+// baseline, the shape a scrape mid-benchmark sees.
+func populated(t *testing.T) *registry.Registry {
+	t.Helper()
+	r := registry.New()
+	c := r.OpenCell("#52/PHFTL", registry.CellMeta{Trace: "#52", Scheme: "PHFTL", TargetOps: 1000})
+	c.SetState(registry.StateRunning)
+	c.Record(obs.Event{Kind: obs.KindGCStart, Clock: 5, F0: 0.4})
+	c.Record(obs.Event{Kind: obs.KindGCEnd, Clock: 6})
+	c.Record(obs.Event{Kind: obs.KindWindowRetrain, Clock: 7})
+	c.PublishSample(obs.Sample{
+		Clock:         500,
+		IntervalWA:    1.2,
+		CumWA:         1.3,
+		FreeSB:        12,
+		Threshold:     900,
+		CacheHitRatio: 0.75,
+		LatencyP50MS:  math.NaN(),
+		LatencyP99MS:  math.NaN(),
+		WearSkew:      1.1,
+		WearCoV:       0.05,
+	}, registry.FTLTotals{UserWrites: 500, GCWrites: 100, MetaWrites: 20})
+	r.OpenCell("#52/Base", registry.CellMeta{Trace: "#52", Scheme: "Base", TargetOps: 1000})
+	return r
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp, body
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(populated(t)))
+	defer srv.Close()
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := CheckExposition(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`phftl_cell_ops_total{cell="#52/PHFTL"} 500`,
+		`phftl_cell_events_total{cell="#52/PHFTL",kind="gc_start"} 1`,
+		`phftl_cell_cum_wa{cell="#52/PHFTL"} 1.3`,
+		`phftl_cell_state{cell="#52/Base"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing %q in exposition", want)
+		}
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(populated(t)))
+	defer srv.Close()
+	resp, body := get(t, srv, "/api/v1/status")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("status %d content type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var st StatusJSON
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if st.Service != "phftl" || st.GoVersion == "" {
+		t.Fatalf("identity wrong: %+v", st)
+	}
+	if st.Ops != 500 || st.TargetOps != 2000 || st.Events != 3 {
+		t.Fatalf("aggregate wrong: %+v", st)
+	}
+	if st.Cells["running"] != 1 || st.Cells["queued"] != 1 {
+		t.Fatalf("cell states wrong: %v", st.Cells)
+	}
+	if st.ETASec == nil || *st.ETASec <= 0 {
+		t.Fatalf("ETA missing with target ahead of ops: %+v", st.ETASec)
+	}
+}
+
+func TestCellsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(populated(t)))
+	defer srv.Close()
+	_, body := get(t, srv, "/api/v1/cells")
+	var doc CellsJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(doc.Cells))
+	}
+	phftl, base := doc.Cells[0], doc.Cells[1]
+	if phftl.Cell != "#52/PHFTL" || base.Cell != "#52/Base" {
+		t.Fatalf("registration order not preserved: %s, %s", phftl.Cell, base.Cell)
+	}
+	if phftl.State != "running" || phftl.Ops != 500 || phftl.UserWrites != 500 || phftl.GCPasses != 1 {
+		t.Fatalf("phftl cell wrong: %+v", phftl)
+	}
+	if phftl.CumWA == nil || *phftl.CumWA != 1.3 || phftl.CacheHit == nil || *phftl.CacheHit != 0.75 {
+		t.Fatalf("phftl gauges wrong: %+v", phftl)
+	}
+	if phftl.Events["gc_start"] != 1 || phftl.Events["window_retrain"] != 1 {
+		t.Fatalf("phftl events wrong: %v", phftl.Events)
+	}
+	// The queued baseline never published: every optional gauge must be
+	// absent, not zero.
+	if base.State != "queued" || base.Ops != 0 {
+		t.Fatalf("base cell wrong: %+v", base)
+	}
+	if base.IntervalWA != nil || base.CumWA != nil || base.Threshold != nil ||
+		base.CacheHit != nil || base.WearSkew != nil || base.FreeSB != nil {
+		t.Fatalf("unobserved gauges present: %s", body)
+	}
+	if strings.Contains(string(body), `"cum_wa":null`) {
+		t.Fatalf("null gauge serialized instead of omitted:\n%s", body)
+	}
+}
+
+func TestEventsEndpointDrain(t *testing.T) {
+	reg := populated(t)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/api/v1/events?limit=2")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("limit ignored: %d lines", len(lines))
+	}
+	var first struct {
+		Seq uint64 `json:"seq"`
+		Ev  string `json:"ev"`
+		Run string `json:"run"`
+		C   uint64 `json:"clock"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("decode %q: %v", lines[0], err)
+	}
+	if first.Seq != 1 || first.Ev != "gc_start" || first.Run != "#52/PHFTL" || first.C != 5 {
+		t.Fatalf("first event wrong: %+v", first)
+	}
+	next := resp.Header.Get("X-Next-Seq")
+	if next != "3" {
+		t.Fatalf("X-Next-Seq = %q, want 3 (newest stored seq)", next)
+	}
+
+	// Resume from the last line actually read, not the header: the header
+	// reports the ring head, the cursor is what the client consumed.
+	var last struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv, "/api/v1/events?since="+strconv.FormatUint(last.Seq, 10))
+	rest := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(rest) != 1 || !strings.Contains(rest[0], `"seq":3`) {
+		t.Fatalf("resume drain wrong:\n%s", body)
+	}
+
+	// Fully drained: empty body, cursor unchanged.
+	resp, body = get(t, srv, "/api/v1/events?since=3")
+	if len(body) != 0 || resp.Header.Get("X-Next-Seq") != "3" {
+		t.Fatalf("drained endpoint returned %q, X-Next-Seq %q", body, resp.Header.Get("X-Next-Seq"))
+	}
+
+	// Kind filter.
+	_, body = get(t, srv, "/api/v1/events?kind=gc_end")
+	filtered := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(filtered) != 1 || !strings.Contains(filtered[0], `"ev":"gc_end"`) {
+		t.Fatalf("kind filter wrong:\n%s", body)
+	}
+}
+
+func TestEventsEndpointBadParams(t *testing.T) {
+	srv := httptest.NewServer(Handler(populated(t)))
+	defer srv.Close()
+	for _, path := range []string{
+		"/api/v1/events?kind=nope",
+		"/api/v1/events?since=abc",
+		"/api/v1/events?limit=0",
+		"/api/v1/events?limit=-5",
+	} {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(populated(t)))
+	defer srv.Close()
+	resp, body := get(t, srv, "/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "/api/v1/cells") {
+		t.Fatalf("index wrong: %d\n%s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv, "/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+	resp, body = get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index wrong: %d", resp.StatusCode)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := registry.New()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", srv.URL())
+	}
+	resp, err := http.Get(srv.URL() + "/api/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL() + "/api/v1/status"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

@@ -20,6 +20,29 @@ type NopRecorder struct{}
 // Record implements Recorder. It does nothing and never allocates.
 func (NopRecorder) Record(Event) {}
 
+// teeRecorder fans one event out to two recorders.
+type teeRecorder struct{ a, b Recorder }
+
+// Record implements Recorder.
+func (t teeRecorder) Record(ev Event) {
+	t.a.Record(ev)
+	t.b.Record(ev)
+}
+
+// Tee returns a Recorder that forwards every event to both recorders, in
+// order. A nil argument collapses to the other recorder (nil both returns
+// nil), so wiring layers can tee optional consumers without branching at
+// every emit site.
+func Tee(a, b Recorder) Recorder {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return teeRecorder{a, b}
+}
+
 // KindPolicy sizes the retention of one event kind.
 type KindPolicy struct {
 	// Cap bounds the retained events of the kind: the newest Cap events

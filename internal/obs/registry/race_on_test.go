@@ -1,0 +1,5 @@
+//go:build race
+
+package registry
+
+const raceEnabled = true

@@ -1,0 +1,438 @@
+// Package registry is the live half of the observability layer: a
+// lock-cheap metrics registry the HTTP telemetry surface (internal/obs/httpd)
+// serves from while a replay is still running. Where internal/obs buffers a
+// run's events and samples for post-hoc sinks (JSONL/CSV/report), this
+// package keeps *current* state — atomic counters and gauges, fixed-bucket
+// histograms layered on internal/metrics, per-cell lifecycle, and a bounded
+// global event ring with a monotone sequence cursor — cheap enough to update
+// from the replay hot path and safe to scrape concurrently.
+//
+// The write side is wired by internal/sim (Observe bridges the event
+// recorder and gauge sampler into a Cell) and internal/runner (lifecycle
+// transitions); the read side is the Prometheus text exposition
+// (WritePrometheus), the JSON snapshots (Snapshot, Totals) and the event
+// drain (EventsSince). A nil *Registry everywhere means "not serving":
+// every producer call site guards with one nil check, so the disabled path
+// costs the same single predictable branch as the rest of internal/obs.
+package registry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/phftl/phftl/internal/metrics"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// SetTotal publishes an externally maintained cumulative total (e.g. the
+// FTL's user-page-write count). The value must be monotone per writer;
+// stale stores (a lagging writer) are dropped rather than winding the
+// counter backwards.
+func (c *Counter) SetTotal(v uint64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge. NaN marks "no observation yet / not
+// applicable" (the same convention as obs.Sample); the Prometheus
+// exposition and JSON snapshots skip NaN gauges instead of serving a fake
+// zero.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram layered on metrics.Histogram: the
+// same [0, n·width) linear buckets with overflow absorbed by the final
+// bucket, the same NaN-drop discipline, and the same midpoint quantile
+// estimator — guarded by a mutex so concurrent observers and scrapers stay
+// race-free. Histograms sit off the per-write hot path (they are fed per
+// sample and per GC pass), so an uncontended mutex is cheaper than a
+// lock-free bucket protocol and keeps the race detector meaningful.
+type Histogram struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (see metrics.Histogram.Quantile).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Quantile(q)
+}
+
+// snapshot copies the exposition-relevant state under the lock.
+func (h *Histogram) snapshot(buckets []uint64) ([]uint64, float64, uint64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.AppendBuckets(buckets[:0]), h.h.BucketWidth(), h.h.Count(), h.h.Sum()
+}
+
+// Label is one name/value pair attached to a metric.
+type Label struct{ Name, Value string }
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled instance of a family.
+type child struct {
+	labels string // rendered {name="value",...} block, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one metric name: its help text, type, and labeled children.
+type family struct {
+	name, help string
+	typ        metricType
+	hBuckets   int     // histogram sizing, fixed across the family
+	hWidth     float64 //
+	mu         sync.Mutex
+	children   map[string]*child
+}
+
+// Registry is the root object: metric families plus the cell set and the
+// global event ring. All methods are safe for concurrent use; metric
+// handles returned by Counter/Gauge/Histogram are resolved once and then
+// updated with pure atomics (counters, gauges) or one uncontended mutex
+// (histograms), so hot paths never re-enter the registry maps.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	cells map[string]*Cell
+	order []*Cell // registration order, the stable JSON output order
+
+	ring  eventRing
+	start time.Time
+
+	// Cross-cell distribution metrics, fed by every cell's bridge.
+	sampleIntervalWA *Histogram
+	gcValidRatio     *Histogram
+}
+
+// DefaultEventRingCap bounds the global HTTP-drain event ring. At the
+// default per-kind retention (hot meta-cache kinds thinned 1/16) this holds
+// minutes of events on the probed cells; older events are overwritten and
+// counted, never blocking a writer.
+const DefaultEventRingCap = 1 << 14
+
+// New creates an empty registry.
+func New() *Registry {
+	r := &Registry{
+		fams:  make(map[string]*family),
+		cells: make(map[string]*Cell),
+		start: time.Now(),
+	}
+	r.ring.init(DefaultEventRingCap)
+	// Interval WA across cells: 60 × 0.05 buckets cover [0, 3) — the range
+	// the paper's trajectories live in — with the usual overflow bucket.
+	r.sampleIntervalWA = r.Histogram("phftl_sample_interval_wa",
+		"Per-sample interval write amplification across all cells.", 60, 0.05)
+	// GC victim valid ratio is a true [0, 1] quantity.
+	r.gcValidRatio = r.Histogram("phftl_gc_valid_ratio",
+		"Valid-page ratio of each selected GC victim across all cells.", 20, 0.05)
+	return r
+}
+
+// Start returns the registry's creation time (the service start for uptime
+// reporting).
+func (r *Registry) Start() time.Time { return r.start }
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels builds the canonical {a="b",c="d"} block (sorted by label
+// name, values escaped per the exposition format). It is the child map key,
+// so label order at the call site never splits a series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("registry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		for _, r := range l.Value {
+			switch r {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteRune(r)
+			}
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getFamily returns (creating if needed) the family, panicking on a name
+// reused with a different type or help — both are programmer errors that
+// would corrupt the exposition.
+func (r *Registry) getFamily(name, help string, typ metricType) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("registry: invalid metric name %q", name))
+	}
+	if typ == typeCounter && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("registry: counter %q must end in _total", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]*child)}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("registry: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+func (f *family) child(labels []Label) *child {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: key}
+		switch f.typ {
+		case typeCounter:
+			c.c = &Counter{}
+		case typeGauge:
+			c.g = &Gauge{}
+			c.g.Set(math.NaN()) // "no observation yet": skipped by exposition
+		case typeHistogram:
+			c.h = &Histogram{h: metrics.NewHistogram(f.hBuckets, f.hWidth)}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter returns the counter named name with the given labels, creating it
+// on first use. The handle is stable: resolve once, then Inc/Add with pure
+// atomics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.getFamily(name, help, typeCounter).child(labels).c
+}
+
+// Gauge returns the gauge named name with the given labels, creating it on
+// first use (initialized to NaN = "no observation yet").
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.getFamily(name, help, typeGauge).child(labels).g
+}
+
+// Histogram returns the histogram named name with the given labels,
+// creating it on first use with buckets × width linear buckets (the
+// metrics.NewHistogram sizing; the final bucket absorbs overflow). Sizing
+// is fixed per family: the first registration wins.
+func (r *Registry) Histogram(name, help string, buckets int, width float64, labels ...Label) *Histogram {
+	f := r.getFamily(name, help, typeHistogram)
+	f.mu.Lock()
+	if f.hBuckets == 0 {
+		f.hBuckets, f.hWidth = buckets, width
+	}
+	f.mu.Unlock()
+	return f.child(labels).h
+}
+
+// WritePrometheus renders every family in the text exposition format
+// v0.0.4: families sorted by name, children sorted by label signature,
+// histograms as cumulative le-bound buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var buf []byte
+	var bucketScratch []uint64
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, 0, len(keys))
+		for _, k := range keys {
+			children = append(children, f.children[k])
+		}
+		f.mu.Unlock()
+
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ.String()...)
+		buf = append(buf, '\n')
+		wrote := false
+		for _, c := range children {
+			switch f.typ {
+			case typeCounter:
+				buf = append(buf, f.name...)
+				buf = append(buf, c.labels...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, c.c.Value(), 10)
+				buf = append(buf, '\n')
+				wrote = true
+			case typeGauge:
+				v := c.g.Value()
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue // no observation yet / not applicable
+				}
+				buf = append(buf, f.name...)
+				buf = append(buf, c.labels...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+				buf = append(buf, '\n')
+				wrote = true
+			case typeHistogram:
+				var width float64
+				var count uint64
+				var sum float64
+				bucketScratch, width, count, sum = c.h.snapshot(bucketScratch)
+				if count == 0 {
+					continue // no observations yet: skipped, like NaN gauges
+				}
+				var cum uint64
+				for i, n := range bucketScratch {
+					cum += n
+					le := "+Inf"
+					if i < len(bucketScratch)-1 {
+						le = strconv.FormatFloat(float64(i+1)*width, 'g', -1, 64)
+					}
+					buf = append(buf, f.name...)
+					buf = append(buf, "_bucket"...)
+					buf = appendLE(buf, c.labels, le)
+					buf = append(buf, ' ')
+					buf = strconv.AppendUint(buf, cum, 10)
+					buf = append(buf, '\n')
+				}
+				buf = append(buf, f.name...)
+				buf = append(buf, "_sum"...)
+				buf = append(buf, c.labels...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, sum, 'g', -1, 64)
+				buf = append(buf, '\n')
+				buf = append(buf, f.name...)
+				buf = append(buf, "_count"...)
+				buf = append(buf, c.labels...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, count, 10)
+				buf = append(buf, '\n')
+				wrote = true
+			}
+		}
+		if !wrote {
+			continue // family whose every gauge is still NaN: emit nothing
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendLE merges the le bucket label into an existing (possibly empty)
+// rendered label block.
+func appendLE(buf []byte, labels, le string) []byte {
+	if labels == "" {
+		buf = append(buf, `{le="`...)
+	} else {
+		buf = append(buf, labels[:len(labels)-1]...) // strip '}'
+		buf = append(buf, `,le="`...)
+	}
+	buf = append(buf, le...)
+	return append(buf, `"}`...)
+}

@@ -1,0 +1,144 @@
+package registry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCounterSetTotal pins the monotone-publish contract: SetTotal never
+// winds a counter backwards, so a lagging sampler cannot make a served
+// counter non-monotonic.
+func TestCounterSetTotal(t *testing.T) {
+	var c Counter
+	c.SetTotal(100)
+	c.SetTotal(40) // stale writer: dropped
+	if got := c.Value(); got != 100 {
+		t.Fatalf("Value = %d after stale SetTotal, want 100", got)
+	}
+	c.SetTotal(150)
+	if got := c.Value(); got != 150 {
+		t.Fatalf("Value = %d, want 150", got)
+	}
+	if got := c.Inc(); got != 151 {
+		t.Fatalf("Inc = %d, want 151", got)
+	}
+}
+
+// TestGaugeNaNDefault pins the no-observation convention: a fresh gauge
+// holds NaN and is skipped by the exposition until its first Set.
+func TestGaugeNaNDefault(t *testing.T) {
+	r := New()
+	g := r.Gauge("phftl_test_gauge", "A test gauge.")
+	if !math.IsNaN(g.Value()) {
+		t.Fatalf("fresh gauge = %v, want NaN", g.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "phftl_test_gauge") {
+		t.Fatalf("NaN gauge rendered:\n%s", b.String())
+	}
+	g.Set(1.5)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "phftl_test_gauge 1.5\n") {
+		t.Fatalf("set gauge missing:\n%s", b.String())
+	}
+}
+
+// TestHandleIdentity pins the resolve-once contract: the same (name, labels)
+// always returns the same handle, regardless of label order at the call
+// site.
+func TestHandleIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("phftl_test_total", "t", Label{"x", "1"}, Label{"y", "2"})
+	b := r.Counter("phftl_test_total", "t", Label{"y", "2"}, Label{"x", "1"})
+	if a != b {
+		t.Fatal("label order split the series")
+	}
+	other := r.Counter("phftl_test_total", "t", Label{"x", "other"}, Label{"y", "2"})
+	if a == other {
+		t.Fatal("distinct label values share a handle")
+	}
+}
+
+// TestRegistrationPanics pins the programmer-error guards: invalid names,
+// counters without _total, and cross-type re-registration all panic rather
+// than corrupt the exposition.
+func TestRegistrationPanics(t *testing.T) {
+	r := New()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid name", func() { r.Counter("bad name_total", "t") })
+	mustPanic("counter without _total", func() { r.Counter("phftl_bad", "t") })
+	mustPanic("type re-registration", func() {
+		r.Gauge("phftl_g", "t")
+		r.Histogram("phftl_g", "t", 4, 1)
+	})
+	mustPanic("invalid label name", func() { r.Counter("phftl_l_total", "t", Label{"bad name", "v"}) })
+}
+
+// expoGolden is the exact exposition for a small hand-built registry:
+// families sorted by name, children by label signature, NaN gauges skipped,
+// histograms as cumulative le buckets + _sum + _count. New() pre-registers
+// the two cross-cell histograms, which render only once fed.
+const expoGolden = `# HELP phftl_demo_events_total Events by kind.
+# TYPE phftl_demo_events_total counter
+phftl_demo_events_total{kind="gc_end"} 2
+phftl_demo_events_total{kind="gc_start"} 3
+# HELP phftl_demo_lat Latency histogram.
+# TYPE phftl_demo_lat histogram
+phftl_demo_lat_bucket{le="0.5"} 1
+phftl_demo_lat_bucket{le="1"} 2
+phftl_demo_lat_bucket{le="+Inf"} 3
+phftl_demo_lat_sum 3
+phftl_demo_lat_count 3
+# HELP phftl_demo_wa Interval WA.
+# TYPE phftl_demo_wa gauge
+phftl_demo_wa{cell="#52/PHFTL"} 0.25
+`
+
+// TestWritePrometheusGolden pins the exposition renderer byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("phftl_demo_events_total", "Events by kind.", Label{"kind", "gc_start"}).Add(3)
+	r.Counter("phftl_demo_events_total", "Events by kind.", Label{"kind", "gc_end"}).Add(2)
+	r.Gauge("phftl_demo_wa", "Interval WA.", Label{"cell", "#52/PHFTL"}).Set(0.25)
+	r.Gauge("phftl_demo_nan", "Stays NaN, never rendered.")
+	h := r.Histogram("phftl_demo_lat", "Latency histogram.", 3, 0.5)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2) // overflow: absorbed by the final (+Inf) bucket
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != expoGolden {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, expoGolden)
+	}
+}
+
+// TestLabelEscaping pins exposition-format escaping of label values.
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("phftl_esc_total", "t", Label{"v", "a\"b\\c\nd"}).Add(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `phftl_esc_total{v="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped label missing %q in:\n%s", want, b.String())
+	}
+}

@@ -35,7 +35,25 @@ func appendKVF(dst []byte, key string, v float64) []byte {
 // with kind-specific field names, in stable order. run, when non-empty, tags
 // the line so multiple runs can share one stream.
 func AppendJSON(dst []byte, ev Event, run string) []byte {
-	dst = append(dst, `{"ev":"`...)
+	dst = append(dst, '{')
+	return appendJSONBody(dst, ev, run)
+}
+
+// AppendJSONSeq is AppendJSON with a leading "seq" field, used by the HTTP
+// events endpoint: the sequence number is the drain cursor clients pass back
+// as ?since=. All other fields and their order match AppendJSON exactly, so
+// line consumers (watop) parse both shapes with one decoder.
+func AppendJSONSeq(dst []byte, seq uint64, ev Event, run string) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, ',')
+	return appendJSONBody(dst, ev, run)
+}
+
+// appendJSONBody writes the event object's fields (from `"ev":` through the
+// closing brace); the caller has already opened the object.
+func appendJSONBody(dst []byte, ev Event, run string) []byte {
+	dst = append(dst, `"ev":"`...)
 	dst = append(dst, ev.Kind.String()...)
 	dst = append(dst, '"')
 	if run != "" {
@@ -78,7 +96,13 @@ func AppendJSON(dst []byte, ev Event, run string) []byte {
 	case KindWindowRetrain:
 		dst = appendKV(dst, "examples", ev.A)
 		dst = appendKV(dst, "deployed", ev.B)
-		dst = appendKV(dst, "duration_ns", ev.C)
+		if ev.C > 0 {
+			// Wall-clock training duration, recorded only under
+			// -wall-durations (core.Options.WallDurations). Omitting the
+			// field when no duration was measured keeps default telemetry
+			// byte-identical across runs, worker counts and hosts.
+			dst = appendKV(dst, "duration_ns", ev.C)
+		}
 		dst = appendKVF(dst, "loss", ev.F0)
 		dst = appendKVF(dst, "threshold", ev.F1)
 	case KindMetaCacheHit, KindMetaCacheMiss, KindMetaCacheEvict:

@@ -17,9 +17,11 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/sim"
 	"github.com/phftl/phftl/internal/workload"
 )
@@ -35,6 +37,11 @@ type Cell struct {
 	// spare ratio instead of the default 7% (wabench -op-sweep). It feeds
 	// run tagging only; the harness maps it to GeometryForDriveOP/BuildOP.
 	OP float64
+
+	// TargetOps is the cell's expected user-page-write total (0 = unknown).
+	// It feeds the live registry's per-cell target and the progress line's
+	// fleet ETA; the engine never enforces it.
+	TargetOps uint64
 }
 
 // RunTag returns the "trace/scheme" tag used for telemetry lines and error
@@ -92,8 +99,18 @@ type Options struct {
 
 	// Progress, when non-nil, receives a carriage-return progress line
 	// (completed/total cells, elapsed wall time) as cells finish, and a
-	// final newline. Point it at os.Stderr to keep stdout parseable.
+	// final newline. Point it at os.Stderr to keep stdout parseable. With a
+	// Registry attached, the line also reports the fleet's live ops/sec and
+	// ETA (computed from the registry's per-cell counters — the same source
+	// the HTTP endpoints serve) and refreshes once a second while cells run.
 	Progress io.Writer
+
+	// Registry, when non-nil, publishes the run's cell lifecycle into the
+	// live metrics registry served by -listen: every cell is registered as
+	// queued before the workers start, transitions to running when a worker
+	// picks it up, and ends done or failed. Cell replay metrics flow in
+	// separately via sim.ObserveConfig.Cell.
+	Registry *registry.Registry
 }
 
 // Run executes every cell on a pool of Options.Parallel workers and returns
@@ -113,6 +130,19 @@ func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
 		workers = len(cells)
 	}
 
+	// Register the whole fleet as queued before any worker starts, so a
+	// scrape racing the ramp-up already sees every cell.
+	regCells := make([]*registry.Cell, len(cells))
+	if opts.Registry != nil {
+		for i, c := range cells {
+			regCells[i] = opts.Registry.OpenCell(c.RunTag(), registry.CellMeta{
+				Trace:     c.Trace,
+				Scheme:    string(c.Scheme),
+				TargetOps: c.TargetOps,
+			})
+		}
+	}
+
 	type completion struct {
 		idx int
 		out Output
@@ -126,7 +156,18 @@ func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				completions <- completion{i, runCell(fn, cells[i])}
+				if rc := regCells[i]; rc != nil {
+					rc.SetState(registry.StateRunning)
+				}
+				out := runCell(fn, cells[i])
+				if rc := regCells[i]; rc != nil {
+					if out.Err != nil {
+						rc.SetState(registry.StateFailed)
+					} else {
+						rc.SetState(registry.StateDone)
+					}
+				}
+				completions <- completion{i, out}
 			}
 		}()
 	}
@@ -146,10 +187,11 @@ func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
 	errs := make([]error, len(cells))
 	var sinkErr error
 	pending := make(map[int]Output, workers)
-	next, completed := 0, 0
-	start := time.Now()
+	next := 0
+	prog := newProgress(opts.Progress, len(cells), opts.Registry)
+	defer prog.stop()
 	for c := range completions {
-		completed++
+		prog.completed.Add(1)
 		pending[c.idx] = c.out
 		for {
 			out, ok := pending[next]
@@ -167,15 +209,105 @@ func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
 			outputs[next] = out
 			next++
 		}
-		if opts.Progress != nil {
-			fmt.Fprintf(opts.Progress, "\r%d/%d cells done, %s elapsed",
-				completed, len(cells), time.Since(start).Round(100*time.Millisecond))
-		}
+		prog.print()
 	}
-	if opts.Progress != nil {
-		fmt.Fprintln(opts.Progress)
-	}
+	prog.stop()
 	return outputs, errors.Join(append(errs, sinkErr)...)
+}
+
+// progress renders the carriage-return progress line. Without a registry it
+// reproduces the historical completion-driven line exactly; with one it adds
+// the fleet's live ops/sec and ETA (from the registry counters, the same
+// figures /api/v1/status serves) and a once-a-second refresh ticker so the
+// line advances during long cells, not just between them.
+type progress struct {
+	w         io.Writer
+	total     int
+	start     time.Time
+	reg       *registry.Registry
+	completed atomic.Int64
+
+	mu       sync.Mutex
+	lastLen  int
+	stopped  bool
+	stopTick chan struct{}
+}
+
+func newProgress(w io.Writer, total int, reg *registry.Registry) *progress {
+	p := &progress{w: w, total: total, start: time.Now(), reg: reg}
+	if w != nil && reg != nil {
+		p.stopTick = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-p.stopTick:
+					return
+				case <-tick.C:
+					p.print()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+func (p *progress) line() string {
+	s := fmt.Sprintf("%d/%d cells done, %s elapsed",
+		p.completed.Load(), p.total, time.Since(p.start).Round(100*time.Millisecond))
+	if p.reg == nil {
+		return s
+	}
+	t := p.reg.Totals()
+	sec := time.Since(p.start).Seconds()
+	if t.Ops == 0 || sec <= 0 {
+		return s
+	}
+	rate := float64(t.Ops) / sec
+	s += fmt.Sprintf(", %.0f ops/s", rate)
+	if t.TargetOps > t.Ops && rate > 0 {
+		eta := time.Duration(float64(t.TargetOps-t.Ops) / rate * float64(time.Second))
+		s += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	return s
+}
+
+// print redraws the line in place, space-padding over any longer previous
+// line so a shrinking ETA never leaves stale characters.
+func (p *progress) print() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	s := p.line()
+	pad := p.lastLen - len(s)
+	if pad < 0 {
+		pad = 0
+	}
+	p.lastLen = len(s)
+	fmt.Fprintf(p.w, "\r%s%s", s, strings.Repeat(" ", pad))
+}
+
+// stop ends the refresh ticker and terminates the line with a newline.
+// Idempotent (Run defers it for the error paths and calls it on success).
+func (p *progress) stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.stopTick != nil {
+		close(p.stopTick)
+	}
+	if p.w != nil {
+		fmt.Fprintln(p.w)
+	}
 }
 
 // runCell executes fn for one cell, converting a panic into an error so one

@@ -26,9 +26,10 @@ func parallelProfiles() []workload.Profile {
 }
 
 // runCell runs one (scheme, profile) cell at the given worker count with
-// observability attached and returns the result, the recorded events (with
-// the one nondeterministic field — window_retrain's wall-clock duration —
-// zeroed) and the gauge samples rendered to strings (NaN-safe comparison).
+// observability attached and returns the result, the recorded events and the
+// gauge samples rendered to strings (NaN-safe comparison). Events compare
+// exactly: wall-clock durations are opt-in (core.Options.WallDurations,
+// default off), so the default event stream is fully deterministic.
 func runCell(t *testing.T, scheme Scheme, p workload.Profile, workers, dw int) (Result, []obs.Event, []string) {
 	t.Helper()
 	geo := GeometryForDrive(p.ExportedPages, p.PageSize)
@@ -46,11 +47,6 @@ func runCell(t *testing.T, scheme Scheme, p workload.Profile, workers, dw int) (
 		t.Fatalf("%s/%s workers=%d: %v", scheme, p.ID, workers, err)
 	}
 	events := o.Rec.Events()
-	for i := range events {
-		if events[i].Kind == obs.KindWindowRetrain {
-			events[i].C = 0 // wall-clock retrain duration: the only nondeterministic field
-		}
-	}
 	samples := make([]string, 0, len(o.Sampler.Series()))
 	for _, s := range o.Sampler.Series() {
 		samples = append(samples, fmt.Sprintf("%v", s))

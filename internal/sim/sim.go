@@ -15,6 +15,7 @@ import (
 	"github.com/phftl/phftl/internal/metrics"
 	"github.com/phftl/phftl/internal/nand"
 	"github.com/phftl/phftl/internal/obs"
+	"github.com/phftl/phftl/internal/obs/registry"
 	"github.com/phftl/phftl/internal/par"
 	"github.com/phftl/phftl/internal/sepbit"
 	"github.com/phftl/phftl/internal/trace"
@@ -148,6 +149,12 @@ type ObserveConfig struct {
 	// SampleEvery is the sampling interval in user-page writes (default:
 	// 1/64th of the exported capacity, floored at 64 pages).
 	SampleEvery uint64
+	// Cell, when non-nil, additionally publishes the run into the live
+	// metrics registry (the -listen HTTP telemetry surface): events are teed
+	// into the cell's counters and the drain ring, and every sampler snapshot
+	// updates the cell's gauges and cumulative write counters. Nil keeps the
+	// historical buffered-only observation.
+	Cell *registry.Cell
 }
 
 // Observe instruments an instance: the FTL, the PHFTL scheme and its
@@ -163,10 +170,17 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 		}
 	}
 	o := &Observation{Rec: obs.NewTraceRecorder(cfg.RingCap)}
+	// The live-registry cell (if any) sees the same event stream as the
+	// buffered recorder. The typed-nil guard matters: a nil *registry.Cell
+	// wrapped in the Recorder interface would not compare equal to nil.
+	var rec obs.Recorder = o.Rec
+	if cfg.Cell != nil {
+		rec = obs.Tee(o.Rec, cfg.Cell)
+	}
 	if dev := in.FTL.Device(); dev != nil {
 		geo := dev.Geometry()
 		o.Wear = wear.New(geo.Dies, geo.BlocksPerDie)
-		rec, wa := o.Rec, o.Wear
+		rec, wa := rec, o.Wear
 		dev.SetEraseHook(func(die, blk, count int) {
 			wa.OnErase(die, blk)
 			rec.Record(obs.Event{
@@ -216,11 +230,18 @@ func Observe(in *Instance, cfg ObserveConfig) *Observation {
 		if o.Latency != nil {
 			s.LatencyP50MS, s.LatencyP99MS = o.Latency()
 		}
+		if cfg.Cell != nil {
+			cfg.Cell.PublishSample(s, registry.FTLTotals{
+				UserWrites: st.UserPageWrites,
+				GCWrites:   st.GCPageWrites,
+				MetaWrites: st.MetaPageWrites,
+			})
+		}
 		return s
 	})
-	in.FTL.SetRecorder(o.Rec)
+	in.FTL.SetRecorder(rec)
 	if in.PHFTL != nil {
-		in.PHFTL.SetRecorder(o.Rec, in.FTL.Clock)
+		in.PHFTL.SetRecorder(rec, in.FTL.Clock)
 	}
 	in.Obs = o
 	return o
