@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fmt bench benchcmp benchcheck smoke watop-smoke opsweep-smoke scaling-smoke http-smoke golden golden-check
+.PHONY: check vet build test race fmt bench benchcmp benchcheck smoke watop-smoke opsweep-smoke scaling-smoke http-smoke fleet-smoke golden golden-check
 
 ## check: the tier-1 gate — everything CI (and the next PR) relies on.
-check: vet build race fmt smoke watop-smoke opsweep-smoke scaling-smoke http-smoke golden-check benchcheck
+check: vet build race fmt smoke watop-smoke opsweep-smoke scaling-smoke http-smoke fleet-smoke golden-check benchcheck
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,16 @@ watop-smoke:
 ## line, so metric renames or label-escaping regressions cannot ship silently.
 http-smoke:
 	$(GO) test -race -run 'TestHTTPSmoke' -count=1 -v ./cmd/wabench
+
+## fleet-smoke: the fleet-service gate under -race — a live phftld-shaped
+## supervisor behind a real listener accepts four cell submissions over HTTP,
+## cancels one through the control plane, drains the rest, and must then serve
+## (a) lifecycle states (3 done / 1 cancelled), (b) per-scheme fleet WA
+## percentiles that EXACTLY match an offline recomputation from the per-cell
+## results, and (c) an event drain that delivers every retained sequence
+## exactly once through limit-truncated pages (the cursor-loss regression).
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetSmoke' -count=1 -v ./cmd/phftld
 
 ## Golden-curve regression harness: checked-in per-cell sample CSVs
 ## (the wabench -telemetry-csv format) for GOLDEN_TRACES × {Base,PHFTL} at

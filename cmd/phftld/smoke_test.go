@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/phftl/phftl/internal/fleet"
+	"github.com/phftl/phftl/internal/metrics"
+	"github.com/phftl/phftl/internal/obs/httpd"
+	"github.com/phftl/phftl/internal/obs/registry"
+)
+
+func postJSON(t *testing.T, urlStr, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(urlStr, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", urlStr, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestFleetSmoke is the end-to-end check behind `make fleet-smoke`: a live
+// phftld-shaped service (real listener, real supervisor, -race) accepts four
+// submissions over HTTP, cancels one, runs the rest to completion, serves
+// fleet WA percentiles that match an offline recomputation from the per-cell
+// results, and delivers every event-ring sequence exactly once through a
+// limit-truncated drain.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full replays")
+	}
+	reg := registry.New()
+	sup, err := fleet.New(fleet.Config{
+		Workers:            2,
+		Registry:           reg,
+		JournalPath:        filepath.Join(t.TempDir(), "queue.jsonl"),
+		DefaultDriveWrites: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Shutdown()
+	srv, err := httpd.ServeWith("127.0.0.1:0", reg, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sup.Start()
+
+	// Submit four cells over HTTP; the last exists to be cancelled.
+	specs := []string{
+		`{"trace":"#52","scheme":"Base","drive_writes":1}`,
+		`{"trace":"#52","scheme":"PHFTL","drive_writes":1}`,
+		`{"trace":"#144","scheme":"Base","drive_writes":1}`,
+		`{"trace":"#144","scheme":"PHFTL","drive_writes":1}`,
+	}
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		resp, body := postJSON(t, srv.URL()+"/api/v1/cells", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var sub httpd.SubmitJSON
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = sub.Cell
+	}
+
+	// Cancel the last submission through the control plane (path-escaped:
+	// the name contains both '#' and '/').
+	cancelURL := srv.URL() + "/api/v1/cells/" + url.PathEscape(names[3]) + "/cancel"
+	resp, body := postJSON(t, cancelURL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", resp.StatusCode, body)
+	}
+
+	done := make(chan struct{})
+	go func() { sup.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(4 * time.Minute):
+		t.Fatal("fleet did not drain")
+	}
+
+	// Lifecycle over HTTP: three done, one cancelled, none failed.
+	resp, body = getBody(t, srv.URL()+"/api/v1/cells")
+	var cellsDoc httpd.CellsJSON
+	if err := json.Unmarshal(body, &cellsDoc); err != nil {
+		t.Fatalf("decode cells: %v\n%s", err, body)
+	}
+	states := map[string]string{}
+	for _, c := range cellsDoc.Cells {
+		states[c.Cell] = c.State
+	}
+	for _, n := range names[:3] {
+		if states[n] != "done" {
+			t.Errorf("%s state = %q, want done", n, states[n])
+		}
+	}
+	if states[names[3]] != "cancelled" {
+		t.Errorf("%s state = %q, want cancelled", names[3], states[names[3]])
+	}
+
+	// Fleet percentiles match an offline recomputation: feed each completed
+	// cell's end-of-run WA into the same fixed-bucket histogram the registry
+	// uses and compare the served per-scheme final-WA quantiles exactly.
+	resp, body = getBody(t, srv.URL()+"/api/v1/fleet")
+	var fleetDoc httpd.FleetJSON
+	if err := json.Unmarshal(body, &fleetDoc); err != nil {
+		t.Fatalf("decode fleet: %v\n%s", err, body)
+	}
+	offline := map[string]*metrics.Histogram{}
+	offlineMax := map[string]float64{}
+	for _, n := range names[:3] {
+		out, ok := sup.Output(n)
+		if !ok || out.Err != nil {
+			t.Fatalf("%s: output %v, ok=%v", n, out.Err, ok)
+		}
+		scheme := string(out.Cell.Scheme)
+		h := offline[scheme]
+		if h == nil {
+			h = metrics.NewHistogram(60, 0.05)
+			offline[scheme] = h
+		}
+		h.Add(out.Result.WA)
+		if out.Result.WA > offlineMax[scheme] {
+			offlineMax[scheme] = out.Result.WA
+		}
+	}
+	for _, s := range fleetDoc.Schemes {
+		h := offline[s.Scheme]
+		if h == nil {
+			if s.FinalWA.Count != 0 {
+				t.Errorf("%s: served final count %d for scheme with no completed cells", s.Scheme, s.FinalWA.Count)
+			}
+			continue
+		}
+		if s.FinalWA.Count != h.Count() {
+			t.Errorf("%s: final count %d, offline %d", s.Scheme, s.FinalWA.Count, h.Count())
+			continue
+		}
+		for _, q := range []struct {
+			q      float64
+			served *float64
+		}{{0.50, s.FinalWA.P50}, {0.90, s.FinalWA.P90}, {0.99, s.FinalWA.P99}} {
+			if q.served == nil {
+				t.Errorf("%s: q%.2f missing", s.Scheme, q.q)
+				continue
+			}
+			if want := h.Quantile(q.q); *q.served != want {
+				t.Errorf("%s: q%.2f = %v, offline recomputation %v", s.Scheme, q.q, *q.served, want)
+			}
+		}
+		if s.FinalWA.Max == nil || *s.FinalWA.Max != offlineMax[s.Scheme] {
+			t.Errorf("%s: max %v, offline %v", s.Scheme, s.FinalWA.Max, offlineMax[s.Scheme])
+		}
+	}
+
+	// Event-drain exactness: page through the ring with a small limit,
+	// resuming at each X-Next-Seq; every sequence in the retained range must
+	// arrive exactly once, in order, with no holes.
+	seen := map[uint64]bool{}
+	var minSeq, maxSeq uint64
+	since := uint64(0)
+	for {
+		resp, body = getBody(t, srv.URL()+"/api/v1/events?limit=100&since="+strconv.FormatUint(since, 10))
+		next, err := strconv.ParseUint(resp.Header.Get("X-Next-Seq"), 10, 64)
+		if err != nil {
+			t.Fatalf("bad X-Next-Seq: %v", err)
+		}
+		if len(body) == 0 {
+			break
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			var ev struct {
+				Seq uint64 `json:"seq"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("decode %q: %v", line, err)
+			}
+			if seen[ev.Seq] {
+				t.Fatalf("seq %d delivered twice", ev.Seq)
+			}
+			seen[ev.Seq] = true
+			if minSeq == 0 || ev.Seq < minSeq {
+				minSeq = ev.Seq
+			}
+			if ev.Seq > maxSeq {
+				maxSeq = ev.Seq
+			}
+		}
+		since = next
+	}
+	if len(seen) == 0 {
+		t.Fatal("event drain returned nothing")
+	}
+	if want := maxSeq - minSeq + 1; uint64(len(seen)) != want {
+		t.Fatalf("drain delivered %d seqs over range [%d,%d] (%d expected): events lost",
+			len(seen), minSeq, maxSeq, want)
+	}
+}
+
+func getBody(t *testing.T, urlStr string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(urlStr)
+	if err != nil {
+		t.Fatalf("GET %s: %v", urlStr, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", urlStr, resp.StatusCode, b)
+	}
+	return resp, b
+}
+
+// TestUsage pins the CLI skeleton: no subcommand is an error, not a panic.
+func TestUsage(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("run() = %d, want 2", code)
+	}
+	if code := run([]string{"nope"}); code != 2 {
+		t.Fatalf("run(nope) = %d, want 2", code)
+	}
+}

@@ -128,9 +128,12 @@ func (p *httpPoller) poll(m *model) error {
 	if err != nil {
 		return err
 	}
-	if next, err := strconv.ParseUint(resp.Header.Get("X-Next-Seq"), 10, 64); err == nil {
-		p.since = next
-	}
+	// Parse the cursor up front but advance it only after the body has been
+	// fully read and folded in. Advancing before the read loses events: a
+	// response truncated mid-transfer (server restart, connection drop) would
+	// move the cursor past lines this poll never delivered, and the next poll
+	// would resume beyond them.
+	next, nextErr := strconv.ParseUint(resp.Header.Get("X-Next-Seq"), 10, 64)
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
@@ -141,8 +144,31 @@ func (p *httpPoller) poll(m *model) error {
 			m.consume([]byte(line))
 		}
 	}
+	if nextErr == nil {
+		p.since = next
+	}
+
+	p.fleet(m)
 	p.polls++
 	return nil
+}
+
+// fleet refreshes the fleet-summary pane from /api/v1/fleet. Best-effort: the
+// endpoint exists on every server (it is part of the telemetry mux), but a
+// transient error just leaves the previous pane in place rather than failing
+// the poll.
+func (p *httpPoller) fleet(m *model) {
+	resp, err := p.get("/api/v1/fleet")
+	if err != nil {
+		return
+	}
+	var doc httpd.FleetJSON
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	m.setFleet(&doc)
 }
 
 // watopHTTP drives the dashboard off an HTTP telemetry server instead of a

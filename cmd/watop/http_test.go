@@ -2,8 +2,10 @@ package main
 
 import (
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -73,10 +75,58 @@ func TestHTTPPollerFoldsIntoModel(t *testing.T) {
 	}
 
 	frame := m.frame()
-	for _, want := range []string{"#52/PHFTL", "samples 2"} {
+	for _, want := range []string{"#52/PHFTL", "samples 2", "fleet", "running:1"} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)
 		}
+	}
+}
+
+// TestHTTPPollerTruncatedBodyKeepsCursor is the regression for the client
+// half of the cursor-loss bug: the poller used to advance its ?since= cursor
+// from X-Next-Seq before reading the body, so a response truncated
+// mid-transfer skipped every event it carried. The cursor must move only
+// after the body is fully consumed.
+func TestHTTPPollerTruncatedBodyKeepsCursor(t *testing.T) {
+	reg := registry.New()
+	c := reg.OpenCell("#52/PHFTL", registry.CellMeta{Trace: "#52", Scheme: "PHFTL"})
+	c.SetState(registry.StateRunning)
+	c.Record(obs.Event{Kind: obs.KindGCStart, Clock: 1})
+	c.Record(obs.Event{Kind: obs.KindGCStart, Clock: 2})
+	inner := httpd.Handler(reg)
+	var truncate atomic.Bool
+	truncate.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/events" && truncate.CompareAndSwap(true, false) {
+			// Mimic a transfer cut mid-body: the headers (including the
+			// cursor) arrive intact, but the promised body does not.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Next-Seq", "2")
+			w.Header().Set("Content-Length", "1000")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"seq":1,"ev":"gc_`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m := newModel("", 80)
+	p := newHTTPPoller(srv.URL)
+	if err := p.poll(m); err == nil {
+		t.Fatal("truncated poll reported success")
+	}
+	if p.since != 0 {
+		t.Fatalf("cursor advanced to %d on a truncated body, want 0", p.since)
+	}
+	if err := p.poll(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.events["gc_start"] != 2 {
+		t.Fatalf("retry delivered %d gc_start events, want 2 (events lost)", m.events["gc_start"])
+	}
+	if p.since != 2 {
+		t.Fatalf("cursor = %d after clean drain, want 2", p.since)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/phftl/phftl/internal/obs/httpd"
 	"github.com/phftl/phftl/internal/timeseries"
 )
 
@@ -52,7 +53,14 @@ type model struct {
 	events     map[string]uint64
 	hasCumWA   bool
 	hasWearCoV bool
+
+	// fleet is the latest /api/v1/fleet document (HTTP mode only; nil until
+	// the first successful fetch keeps the pane out of JSONL-driven frames).
+	fleet *httpd.FleetJSON
 }
+
+// setFleet installs the fleet-summary document rendered as the fleet pane.
+func (m *model) setFleet(f *httpd.FleetJSON) { m.fleet = f }
 
 func newModel(run string, width int) *model {
 	if width < 16 {
@@ -128,6 +136,15 @@ func (m *model) consume(raw []byte) {
 	}
 }
 
+// distCells renders one WA distribution as " p50/p90/p99/max (n)", or " -"
+// when the distribution is empty (quantiles omitted on the wire).
+func distCells(d httpd.DistJSON) string {
+	if d.Count == 0 || d.P50 == nil || d.P90 == nil || d.P99 == nil || d.Max == nil {
+		return " -"
+	}
+	return fmt.Sprintf(" %.2f/%.2f/%.2f/%.2f (%d)", *d.P50, *d.P90, *d.P99, *d.Max, d.Count)
+}
+
 // gaugeRow renders one sparkline row: label, strip, current value.
 func (m *model) gaugeRow(b *strings.Builder, label string, r *timeseries.Ring, format string) {
 	fmt.Fprintf(b, "  %-12s %s  ", label, timeseries.Sparkline(r.Values(), m.width))
@@ -175,6 +192,19 @@ func (m *model) frame() string {
 		for die, e := range m.dieErases {
 			fmt.Fprintf(&b, "    die %-2d |%s| %d\n", die,
 				timeseries.Bar(float64(e), float64(maxE), m.width), e)
+		}
+	}
+	if f := m.fleet; f != nil {
+		b.WriteString("\n  fleet ")
+		for _, st := range []string{"queued", "running", "done", "failed", "cancelled"} {
+			if n := f.Cells[st]; n > 0 {
+				fmt.Fprintf(&b, " %s:%d", st, n)
+			}
+		}
+		fmt.Fprintf(&b, "  %.0f ops/s\n", f.OpsPerSec)
+		for _, s := range f.Schemes {
+			fmt.Fprintf(&b, "    %-8s wa%s  final%s\n",
+				s.Scheme, distCells(s.IntervalWA), distCells(s.FinalWA))
 		}
 	}
 	if len(m.events) > 0 {

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/phftl/phftl/internal/obs/httpd"
+	"github.com/phftl/phftl/internal/obs/registry"
+	"github.com/phftl/phftl/internal/workload"
+)
+
+// journalLine is one record of the append-only queue journal. Two shapes:
+//
+//	{"op":"submit","id":3,"name":"#52/PHFTL@j3","spec":{...}}   a submission
+//	{"op":"state","name":"#52/PHFTL@j3","state":"done"}          a terminal transition
+//
+// Only terminal transitions are journaled — running is reconstructed as
+// queued on replay (the run never finished, so it must start over), and a
+// graceful shutdown deliberately writes nothing so interrupted cells resume.
+type journalLine struct {
+	Op   string          `json:"op"`
+	ID   uint64          `json:"id,omitempty"`
+	Name string          `json:"name"`
+	Spec *httpd.CellSpec `json:"spec,omitempty"`
+	Stat string          `json:"state,omitempty"`
+}
+
+func stateByName(name string) (registry.State, bool) {
+	for s := 0; s < registry.NumStates; s++ {
+		if registry.State(s).String() == name {
+			return registry.State(s), true
+		}
+	}
+	return 0, false
+}
+
+// loadJournal replays an existing journal into the supervisor: every
+// submission is re-registered, terminal states are applied, and everything
+// still pending is re-enqueued in submission order. Called from New before
+// the journal is reopened for appending.
+func (s *Supervisor) loadJournal(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: open journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l journalLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return fmt.Errorf("fleet: journal %s:%d: %w", path, lineNo, err)
+		}
+		switch l.Op {
+		case "submit":
+			if l.Spec == nil || l.Name == "" {
+				return fmt.Errorf("fleet: journal %s:%d: submit without spec/name", path, lineNo)
+			}
+			en := &entry{id: l.ID, name: l.Name, spec: *l.Spec}
+			s.entries[l.Name] = en
+			s.order = append(s.order, l.Name)
+			if l.ID > s.nextID {
+				s.nextID = l.ID
+			}
+		case "state":
+			en, ok := s.entries[l.Name]
+			if !ok {
+				return fmt.Errorf("fleet: journal %s:%d: state for unknown cell %q", path, lineNo, l.Name)
+			}
+			st, ok := stateByName(l.Stat)
+			if !ok || !st.Terminal() {
+				return fmt.Errorf("fleet: journal %s:%d: bad terminal state %q", path, lineNo, l.Stat)
+			}
+			en.terminal = true
+			en.finalState = st
+		default:
+			return fmt.Errorf("fleet: journal %s:%d: unknown op %q", path, lineNo, l.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fleet: journal %s: %w", path, err)
+	}
+
+	// Register every cell with the registry in submission order, then
+	// enqueue the survivors. TargetOps needs the profile; a journal written
+	// by a newer binary could name a trace this one lacks — surface that
+	// rather than running a cell we cannot build.
+	for _, name := range s.order {
+		en := s.entries[name]
+		var target uint64
+		if p, ok := workload.ProfileByID(en.spec.Trace); ok {
+			target = uint64(en.spec.DriveWrites) * uint64(p.ExportedPages)
+		} else if !en.terminal {
+			return fmt.Errorf("fleet: journal %s: pending cell %q has unknown trace %q", path, name, en.spec.Trace)
+		}
+		en.rc = s.cfg.Registry.OpenCell(name, registry.CellMeta{
+			Trace:     en.spec.Trace,
+			Scheme:    en.spec.Scheme,
+			TargetOps: target,
+		})
+		if en.terminal {
+			en.rc.SetState(en.finalState)
+			continue
+		}
+		s.pendingQ = append(s.pendingQ, en)
+		s.outstanding++
+	}
+	return nil
+}
+
+// journalLocked appends one line and flushes it to the OS, so a killed
+// process loses at most the line being written. Caller holds s.mu. A nil
+// journal (no JournalPath) is a no-op.
+func (s *Supervisor) journalLocked(l journalLine) error {
+	if s.journal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("fleet: journal encode: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := s.journal.Write(raw); err != nil {
+		return fmt.Errorf("fleet: journal write: %w", err)
+	}
+	return nil
+}

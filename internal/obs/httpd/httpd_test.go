@@ -2,10 +2,12 @@ package httpd
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
 	"testing"
@@ -168,19 +170,13 @@ func TestEventsEndpointDrain(t *testing.T) {
 		t.Fatalf("first event wrong: %+v", first)
 	}
 	next := resp.Header.Get("X-Next-Seq")
-	if next != "3" {
-		t.Fatalf("X-Next-Seq = %q, want 3 (newest stored seq)", next)
+	if next != "2" {
+		t.Fatalf("X-Next-Seq = %q, want 2 (last delivered seq, not the ring head)", next)
 	}
 
-	// Resume from the last line actually read, not the header: the header
-	// reports the ring head, the cursor is what the client consumed.
-	var last struct {
-		Seq uint64 `json:"seq"`
-	}
-	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
-		t.Fatal(err)
-	}
-	_, body = get(t, srv, "/api/v1/events?since="+strconv.FormatUint(last.Seq, 10))
+	// Resuming from the header picks up exactly where the truncated page
+	// stopped: that is the cursor contract.
+	_, body = get(t, srv, "/api/v1/events?since="+next)
 	rest := strings.Split(strings.TrimSpace(string(body)), "\n")
 	if len(rest) != 1 || !strings.Contains(rest[0], `"seq":3`) {
 		t.Fatalf("resume drain wrong:\n%s", body)
@@ -197,6 +193,209 @@ func TestEventsEndpointDrain(t *testing.T) {
 	filtered := strings.Split(strings.TrimSpace(string(body)), "\n")
 	if len(filtered) != 1 || !strings.Contains(filtered[0], `"ev":"gc_end"`) {
 		t.Fatalf("kind filter wrong:\n%s", body)
+	}
+}
+
+// TestEventsEndpointTruncatedDrainNoLoss is the HTTP-level regression for the
+// cursor-loss bug: a client that drains the ring in limit-truncated pages,
+// advancing ?since= to each response's X-Next-Seq, must see every sequence
+// exactly once. The old handler stamped the ring head into X-Next-Seq on
+// truncated pages, silently skipping everything between the last returned
+// line and the head.
+func TestEventsEndpointTruncatedDrainNoLoss(t *testing.T) {
+	reg := registry.New()
+	c := reg.OpenCell("#52/PHFTL", registry.CellMeta{Trace: "#52", Scheme: "PHFTL"})
+	const total = 57
+	for i := 0; i < total; i++ {
+		c.Record(obs.Event{Kind: obs.KindGCStart, Clock: uint64(i)})
+	}
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	seen := make(map[uint64]int)
+	since := uint64(0)
+	for polls := 0; ; polls++ {
+		if polls > total {
+			t.Fatalf("drain did not terminate after %d polls (cursor stuck at %d)", polls, since)
+		}
+		resp, body := get(t, srv, "/api/v1/events?limit=10&since="+strconv.FormatUint(since, 10))
+		next, err := strconv.ParseUint(resp.Header.Get("X-Next-Seq"), 10, 64)
+		if err != nil {
+			t.Fatalf("bad X-Next-Seq %q: %v", resp.Header.Get("X-Next-Seq"), err)
+		}
+		if next < since {
+			t.Fatalf("cursor went backwards: %d -> %d", since, next)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			if line == "" {
+				continue
+			}
+			var ev struct {
+				Seq uint64 `json:"seq"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("decode %q: %v", line, err)
+			}
+			seen[ev.Seq]++
+		}
+		if len(body) == 0 {
+			break // drained
+		}
+		since = next
+	}
+	if len(seen) != total {
+		t.Fatalf("drain delivered %d distinct seqs, want %d (events lost)", len(seen), total)
+	}
+	for seq := uint64(1); seq <= total; seq++ {
+		if seen[seq] != 1 {
+			t.Fatalf("seq %d delivered %d times, want exactly once", seq, seen[seq])
+		}
+	}
+}
+
+// fakeController records control-plane calls for the POST endpoint tests.
+type fakeController struct {
+	submitted []CellSpec
+	submitErr error
+	cancelErr error
+	cancelled []string
+}
+
+func (f *fakeController) SubmitCell(spec CellSpec) (string, error) {
+	if f.submitErr != nil {
+		return "", f.submitErr
+	}
+	f.submitted = append(f.submitted, spec)
+	return spec.Trace + "/" + spec.Scheme + "@j1", nil
+}
+
+func (f *fakeController) CancelCell(name string) error {
+	if f.cancelErr != nil {
+		return f.cancelErr
+	}
+	f.cancelled = append(f.cancelled, name)
+	return nil
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("POST %s read: %v", path, err)
+	}
+	return resp, b
+}
+
+func TestControlAPISubmitAndCancel(t *testing.T) {
+	ctrl := &fakeController{}
+	srv := httptest.NewServer(HandlerWith(populated(t), ctrl))
+	defer srv.Close()
+
+	resp, body := post(t, srv, "/api/v1/cells", `{"trace":"#52","scheme":"PHFTL","drive_writes":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202: %s", resp.StatusCode, body)
+	}
+	var sub SubmitJSON
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if sub.Cell != "#52/PHFTL@j1" || sub.State != "queued" {
+		t.Fatalf("submit response wrong: %+v", sub)
+	}
+	if len(ctrl.submitted) != 1 || ctrl.submitted[0].DriveWrites != 2 {
+		t.Fatalf("controller saw %+v", ctrl.submitted)
+	}
+
+	// Cell names contain '/' and '#': the cancel path segment must be
+	// path-escaped and still route.
+	resp, body = post(t, srv, "/api/v1/cells/"+url.PathEscape("#52/PHFTL@j1")+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.State != "cancelled" {
+		t.Fatalf("cancel response wrong: %+v", sub)
+	}
+	if len(ctrl.cancelled) != 1 || ctrl.cancelled[0] != "#52/PHFTL@j1" {
+		t.Fatalf("controller saw cancels %v", ctrl.cancelled)
+	}
+
+	// GET /api/v1/cells still serves the listing with a POST handler present.
+	if resp, _ := get(t, srv, "/api/v1/cells"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET cells status %d", resp.StatusCode)
+	}
+}
+
+func TestControlAPIErrors(t *testing.T) {
+	ctrl := &fakeController{}
+	srv := httptest.NewServer(HandlerWith(populated(t), ctrl))
+	defer srv.Close()
+
+	if resp, _ := post(t, srv, "/api/v1/cells", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec JSON: status %d, want 400", resp.StatusCode)
+	}
+	ctrl.submitErr = errors.New("unknown trace \"nope\"")
+	if resp, _ := post(t, srv, "/api/v1/cells", `{"trace":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rejected spec: status %d, want 400", resp.StatusCode)
+	}
+	ctrl.cancelErr = ErrUnknownCell
+	if resp, _ := post(t, srv, "/api/v1/cells/ghost/cancel", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cell cancel: status %d, want 404", resp.StatusCode)
+	}
+	ctrl.cancelErr = ErrCellTerminal
+	if resp, _ := post(t, srv, "/api/v1/cells/done/cancel", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("terminal cell cancel: status %d, want 409", resp.StatusCode)
+	}
+
+	// Without a controller both POST endpoints answer 501, and the telemetry
+	// endpoints are unaffected.
+	bare := httptest.NewServer(Handler(populated(t)))
+	defer bare.Close()
+	if resp, _ := post(t, bare, "/api/v1/cells", `{}`); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("submit without controller: status %d, want 501", resp.StatusCode)
+	}
+	if resp, _ := post(t, bare, "/api/v1/cells/x/cancel", ""); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("cancel without controller: status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	reg := populated(t)
+	reg.Cell("#52/PHFTL").PublishFinalWA(1.25)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/api/v1/fleet")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("status %d content type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var doc FleetJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if doc.Cells["running"] != 1 || doc.Cells["queued"] != 1 {
+		t.Fatalf("cell states wrong: %v", doc.Cells)
+	}
+	if doc.IntervalWA.Count != 1 || doc.IntervalWA.P50 == nil {
+		t.Fatalf("fleet interval WA wrong: %+v", doc.IntervalWA)
+	}
+	if len(doc.Schemes) != 2 || doc.Schemes[0].Scheme != "Base" || doc.Schemes[1].Scheme != "PHFTL" {
+		t.Fatalf("schemes wrong: %s", body)
+	}
+	p := doc.Schemes[1]
+	if p.FinalWA.Count != 1 || p.FinalWA.Max == nil || *p.FinalWA.Max != 1.25 {
+		t.Fatalf("PHFTL final WA wrong: %+v", p.FinalWA)
+	}
+	// The never-published Base scheme's quantiles are omitted, not null.
+	if strings.Contains(string(body), "null") {
+		t.Fatalf("null quantile serialized instead of omitted:\n%s", body)
 	}
 }
 

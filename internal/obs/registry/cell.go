@@ -13,16 +13,18 @@ import (
 type State int32
 
 // The lifecycle. Queued cells are registered but not yet picked up by a
-// worker; Done/Failed are terminal.
+// worker; Done/Failed/Cancelled are terminal. Cancelled marks a cell stopped
+// by an explicit control-plane cancel (fleet service), never by a failure.
 const (
 	StateQueued State = iota
 	StateRunning
 	StateDone
 	StateFailed
+	StateCancelled
 )
 
 // NumStates is the number of lifecycle states.
-const NumStates = int(StateFailed) + 1
+const NumStates = int(StateCancelled) + 1
 
 // String returns the snake-free lowercase name used in labels and JSON.
 func (s State) String() string {
@@ -35,9 +37,17 @@ func (s State) String() string {
 		return "done"
 	case StateFailed:
 		return "failed"
+	case StateCancelled:
+		return "cancelled"
 	default:
 		return "unknown"
 	}
+}
+
+// Terminal reports whether the state is an end state (done, failed or
+// cancelled).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
 // CellMeta is the immutable identity of a cell.
@@ -75,6 +85,12 @@ type Cell struct {
 
 	intervalWA, cumWA, threshold, cacheHit *Gauge
 	wearSkew, wearCoV, freeSB, stateG      *Gauge
+
+	// Per-scheme cross-cell WA distributions (shared handles: every cell of
+	// one scheme observes into the same pair). schemeIntervalWA is fed per
+	// sample, schemeFinalWA once per completed run (PublishFinalWA); together
+	// they back the /api/v1/fleet percentiles.
+	schemeIntervalWA, schemeFinalWA *Histogram
 }
 
 // ringHot marks the event kinds emitted per metadata retrieval — millions
@@ -137,8 +153,15 @@ func (r *Registry) OpenCell(name string, meta CellMeta) *Cell {
 	c.freeSB = r.Gauge("phftl_cell_free_superblocks",
 		"Current free-superblock count.", cl)
 	c.stateG = r.Gauge("phftl_cell_state",
-		"Cell lifecycle state: 0 queued, 1 running, 2 done, 3 failed.", cl)
+		"Cell lifecycle state: 0 queued, 1 running, 2 done, 3 failed, 4 cancelled.", cl)
 	c.stateG.Set(float64(StateQueued))
+	sl := Label{"scheme", meta.Scheme}
+	c.schemeIntervalWA = r.Histogram("phftl_scheme_interval_wa",
+		"Per-sample interval write amplification across cells, by scheme.",
+		60, 0.05, sl)
+	c.schemeFinalWA = r.Histogram("phftl_scheme_final_wa",
+		"End-of-run write amplification of completed cells, by scheme.",
+		60, 0.05, sl)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -174,9 +197,12 @@ func (c *Cell) SetState(s State) {
 	c.stateG.Set(float64(s))
 	now := time.Now().UnixNano()
 	switch s {
+	case StateQueued:
+		// A re-queue (fleet restart policy) reopens the lifecycle window.
+		c.doneNS.Store(0)
 	case StateRunning:
 		c.startNS.CompareAndSwap(0, now)
-	case StateDone, StateFailed:
+	case StateDone, StateFailed, StateCancelled:
 		c.doneNS.CompareAndSwap(0, now)
 	}
 }
@@ -216,6 +242,14 @@ func (c *Cell) PublishSample(s obs.Sample, t FTLTotals) {
 		c.threshold.Set(s.Threshold)
 	}
 	c.reg.sampleIntervalWA.Observe(s.IntervalWA)
+	c.schemeIntervalWA.Observe(s.IntervalWA)
+}
+
+// PublishFinalWA records a completed run's end-of-run write amplification
+// into the per-scheme fleet distribution (served by /api/v1/fleet). Call once
+// per successful cell completion; NaN is dropped like every histogram input.
+func (c *Cell) PublishFinalWA(wa float64) {
+	c.schemeFinalWA.Observe(wa)
 }
 
 // Ops returns the cell's current replayed-op total.
@@ -378,8 +412,14 @@ func (er *eventRing) store(cell string, ev obs.Event) {
 
 // EventsSince drains up to limit ring events with sequence number > since,
 // oldest first, optionally filtered to one kind (kind 0 = all). The second
-// return is the newest sequence number assigned so far — the cursor a
-// caller that received fewer than limit events should poll from next.
+// return is the safe resume cursor: the sequence number of the last slot the
+// scan *covered* (delivered, or skipped by the kind filter). Polling again
+// with since set to this value delivers every subsequent event exactly once
+// — in particular, when limit truncates the result the cursor points at the
+// last returned event, never at the ring's newest sequence, so undelivered
+// events between the two are not skipped. When nothing new is available the
+// cursor is returned unchanged (or advanced to the oldest survivor when the
+// gap was overwritten).
 func (r *Registry) EventsSince(since uint64, kind obs.Kind, limit int) ([]SeqEvent, uint64) {
 	if limit <= 0 {
 		limit = 1000
@@ -396,15 +436,20 @@ func (r *Registry) EventsSince(since uint64, kind obs.Kind, limit int) ([]SeqEve
 	if from < oldest {
 		from = oldest // the gap was overwritten; resume at the oldest survivor
 	}
+	cursor := from - 1
 	var out []SeqEvent
-	for seq := from; seq <= newest && len(out) < limit; seq++ {
+	for seq := from; seq <= newest; seq++ {
+		if len(out) == limit {
+			break // truncated: cursor stays at the last scanned slot
+		}
 		se := er.buf[(seq-1)&er.mask]
+		cursor = seq
 		if kind != 0 && se.Ev.Kind != kind {
 			continue
 		}
 		out = append(out, se)
 	}
-	return out, newest
+	return out, cursor
 }
 
 // EventsDropped returns how many ring slots have been overwritten before

@@ -122,23 +122,69 @@ func TestEventsSinceCursor(t *testing.T) {
 	for i := 1; i <= 10; i++ {
 		c.Record(obs.Event{Kind: obs.KindGCStart, Clock: uint64(i)})
 	}
-	first, newest := r.EventsSince(0, 0, 4)
-	if newest != 10 || len(first) != 4 || first[0].Seq != 1 || first[3].Seq != 4 {
-		t.Fatalf("first drain: %d events, newest %d", len(first), newest)
+	// A limit-truncated drain must hand back the last *scanned* sequence as
+	// the cursor, not the ring's newest: polling from the newest would skip
+	// events 5..10 entirely.
+	first, cursor := r.EventsSince(0, 0, 4)
+	if cursor != 4 || len(first) != 4 || first[0].Seq != 1 || first[3].Seq != 4 {
+		t.Fatalf("first drain: %d events, cursor %d (want 4 events, cursor 4)", len(first), cursor)
 	}
-	rest, _ := r.EventsSince(first[len(first)-1].Seq, 0, 0)
-	if len(rest) != 6 || rest[0].Seq != 5 || rest[5].Seq != 10 {
-		t.Fatalf("resumed drain wrong: %d events from seq %d", len(rest), rest[0].Seq)
+	rest, cursor := r.EventsSince(cursor, 0, 0)
+	if len(rest) != 6 || rest[0].Seq != 5 || rest[5].Seq != 10 || cursor != 10 {
+		t.Fatalf("resumed drain wrong: %d events, cursor %d", len(rest), cursor)
 	}
 	if rest[0].Cell != "x" || rest[0].Ev.Clock != 5 {
 		t.Fatalf("payload wrong: %+v", rest[0])
 	}
+	// Fully drained: cursor unchanged, no events.
+	empty, cursor := r.EventsSince(cursor, 0, 0)
+	if len(empty) != 0 || cursor != 10 {
+		t.Fatalf("drained ring returned %d events, cursor %d", len(empty), cursor)
+	}
 
-	// Kind filter: only gc_end events.
+	// Kind filter: only gc_end events; the cursor still covers the filtered
+	// slots so the next poll does not rescan them.
 	c.Record(obs.Event{Kind: obs.KindGCEnd, Clock: 11})
-	ends, _ := r.EventsSince(0, obs.KindGCEnd, 0)
-	if len(ends) != 1 || ends[0].Ev.Kind != obs.KindGCEnd {
-		t.Fatalf("kind filter wrong: %+v", ends)
+	ends, cursor := r.EventsSince(0, obs.KindGCEnd, 0)
+	if len(ends) != 1 || ends[0].Ev.Kind != obs.KindGCEnd || cursor != 11 {
+		t.Fatalf("kind filter wrong: %+v (cursor %d)", ends, cursor)
+	}
+}
+
+// TestEventsSinceTruncatedNoLoss is the headline drain-protocol regression:
+// repeatedly draining a full ring with a small limit, always resuming from
+// the returned cursor, must deliver every sequence exactly once. The old
+// EventsSince returned the ring's newest sequence even when limit truncated
+// the scan, so every full page silently skipped the events behind it.
+func TestEventsSinceTruncatedNoLoss(t *testing.T) {
+	r := New()
+	c := r.OpenCell("x", CellMeta{})
+	const total = 107
+	for i := 1; i <= total; i++ {
+		c.Record(obs.Event{Kind: obs.KindGCStart, Clock: uint64(i)})
+	}
+	seen := make(map[uint64]int)
+	var cursor uint64
+	for polls := 0; polls < total+2; polls++ {
+		evs, next := r.EventsSince(cursor, 0, 10)
+		for _, se := range evs {
+			seen[se.Seq]++
+		}
+		if next == cursor && len(evs) == 0 {
+			break // drained
+		}
+		if next < cursor {
+			t.Fatalf("cursor went backwards: %d -> %d", cursor, next)
+		}
+		cursor = next
+	}
+	if len(seen) != total {
+		t.Fatalf("drained %d distinct sequences, want %d", len(seen), total)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d delivered %d times", seq, n)
+		}
 	}
 }
 

@@ -75,14 +75,21 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // sample and per GC pass), so an uncontended mutex is cheaper than a
 // lock-free bucket protocol and keeps the race detector meaningful.
 type Histogram struct {
-	mu sync.Mutex
-	h  *metrics.Histogram
+	mu  sync.Mutex
+	h   *metrics.Histogram
+	max float64 // exact observed maximum; NaN until the first observation
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return // mirror metrics.Histogram's NaN-drop without touching max
+	}
 	h.mu.Lock()
 	h.h.Add(v)
+	if math.IsNaN(h.max) || v > h.max {
+		h.max = v
+	}
 	h.mu.Unlock()
 }
 
@@ -91,6 +98,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.h.Quantile(q)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Count()
+}
+
+// Max returns the exact maximum observed value (NaN before the first
+// observation) — histograms bucket away the tail, so the fleet summary
+// tracks it separately.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
 }
 
 // snapshot copies the exposition-relevant state under the lock.
@@ -157,6 +180,11 @@ type Registry struct {
 	// Cross-cell distribution metrics, fed by every cell's bridge.
 	sampleIntervalWA *Histogram
 	gcValidRatio     *Histogram
+
+	// opsRate is the fleet-wide sliding-window ops/sec estimator shared by
+	// every live-rate surface (the runner progress line and /api/v1/status),
+	// so both report the same figure from the same window.
+	opsRate *RateWindow
 }
 
 // DefaultEventRingCap bounds the global HTTP-drain event ring. At the
@@ -168,9 +196,10 @@ const DefaultEventRingCap = 1 << 14
 // New creates an empty registry.
 func New() *Registry {
 	r := &Registry{
-		fams:  make(map[string]*family),
-		cells: make(map[string]*Cell),
-		start: time.Now(),
+		fams:    make(map[string]*family),
+		cells:   make(map[string]*Cell),
+		start:   time.Now(),
+		opsRate: NewRateWindow(DefaultRateWindow),
 	}
 	r.ring.init(DefaultEventRingCap)
 	// Interval WA across cells: 60 × 0.05 buckets cover [0, 3) — the range
@@ -281,7 +310,7 @@ func (f *family) child(labels []Label) *child {
 			c.g = &Gauge{}
 			c.g.Set(math.NaN()) // "no observation yet": skipped by exposition
 		case typeHistogram:
-			c.h = &Histogram{h: metrics.NewHistogram(f.hBuckets, f.hWidth)}
+			c.h = &Histogram{h: metrics.NewHistogram(f.hBuckets, f.hWidth), max: math.NaN()}
 		}
 		f.children[key] = c
 	}

@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the bounded worker pool at the core of both execution engines: the
+// batch engine (Run) feeds it a fixed cell list and closes it, while the
+// fleet service (internal/fleet) keeps one open for the process lifetime and
+// feeds it cells as they are submitted over HTTP. Workers pull jobs until
+// Close; a job is an opaque closure so the pool carries no cell semantics —
+// panic recovery and lifecycle bookkeeping stay with the callers (ExecCell).
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts a pool of the given size (<= 0 selects GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan func()), workers: workers}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit hands one job to the pool, blocking until a worker accepts it (the
+// unbuffered channel is the backpressure: a submitter can never race ahead of
+// the workers). Submit after Close panics, like any send on a closed channel.
+func (p *Pool) Submit(job func()) { p.jobs <- job }
+
+// Close stops accepting jobs and waits for every in-flight job to return.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

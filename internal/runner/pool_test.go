@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEverything pins the extracted worker core both engines share:
+// every submitted job runs exactly once, Close waits for in-flight jobs, and
+// concurrency never exceeds the pool size.
+func TestPoolRunsEverything(t *testing.T) {
+	const jobs = 100
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	var ran, active, peak atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		p.Submit(func() {
+			n := active.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			ran.Add(1)
+			active.Add(-1)
+		})
+	}
+	p.Close()
+	if ran.Load() != jobs {
+		t.Fatalf("ran %d jobs, want %d", ran.Load(), jobs)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", peak.Load())
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+	done := make(chan struct{})
+	p.Submit(func() { close(done) })
+	<-done
+	p.Close()
+}

@@ -147,36 +147,31 @@ func Run(cells []Cell, fn Func, opts Options) ([]Output, error) {
 		idx int
 		out Output
 	}
-	jobs := make(chan int)
 	completions := make(chan completion)
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
+	// The dispatcher feeds the shared Pool (the same worker core the fleet
+	// service runs on) and closes the completion stream once the pool drains.
+	pool := NewPool(workers)
+	go func() {
+		for i := range cells {
+			i := i
+			pool.Submit(func() {
 				if rc := regCells[i]; rc != nil {
 					rc.SetState(registry.StateRunning)
 				}
-				out := runCell(fn, cells[i])
+				out := ExecCell(fn, cells[i])
 				if rc := regCells[i]; rc != nil {
 					if out.Err != nil {
 						rc.SetState(registry.StateFailed)
 					} else {
+						rc.PublishFinalWA(out.Result.WA)
 						rc.SetState(registry.StateDone)
 					}
 				}
 				completions <- completion{i, out}
-			}
-		}()
-	}
-	go func() {
-		for i := range cells {
-			jobs <- i
+			})
 		}
-		close(jobs)
-		wg.Wait()
+		pool.Close()
 		close(completions)
 	}()
 
@@ -260,11 +255,18 @@ func (p *progress) line() string {
 		return s
 	}
 	t := p.reg.Totals()
-	sec := time.Since(p.start).Seconds()
-	if t.Ops == 0 || sec <= 0 {
+	if t.Ops == 0 {
 		return s
 	}
-	rate := float64(t.Ops) / sec
+	// Sliding-window rate via the registry's shared helper, so the progress
+	// line and /api/v1/status always agree. The lifetime average both used to
+	// compute independently diverges the moment the rate changes — after a
+	// slow warm-up the ETA stayed pessimistic for the whole run, and on a
+	// burst-then-idle fleet it reported a stale positive rate forever.
+	rate := p.reg.LiveOpsPerSec()
+	if rate <= 0 {
+		return s
+	}
 	s += fmt.Sprintf(", %.0f ops/s", rate)
 	if t.TargetOps > t.Ops && rate > 0 {
 		eta := time.Duration(float64(t.TargetOps-t.Ops) / rate * float64(time.Second))
@@ -310,9 +312,11 @@ func (p *progress) stop() {
 	}
 }
 
-// runCell executes fn for one cell, converting a panic into an error so one
-// bad cell cannot take down the whole sweep.
-func runCell(fn Func, c Cell) (out Output) {
+// ExecCell executes fn for one cell, converting a panic into an error so one
+// bad cell cannot take down the whole sweep. Both engines route every cell
+// through it: the batch Run above, and the fleet service's long-running
+// workers (internal/fleet).
+func ExecCell(fn Func, c Cell) (out Output) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = Output{Cell: c, Err: fmt.Errorf("%s: panic: %v\n%s", c.RunTag(), r, debug.Stack())}

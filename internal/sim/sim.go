@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -487,11 +488,31 @@ func RunProfile(p workload.Profile, scheme Scheme, driveWrites int, opts *core.O
 // independent of driveWrites (the slice-based path materialized every record
 // and page op up front — hundreds of MB for deep -dw replays).
 func RunOn(in *Instance, p workload.Profile, driveWrites int) (Result, error) {
+	return RunOnCtx(context.Background(), in, p, driveWrites)
+}
+
+// RunOnCtx is RunOn with cooperative cancellation: the replay loop checks the
+// context between trace records (a record expands to a bounded burst of page
+// ops, so cancellation latency is one record's expansion plus any GC it
+// triggers). A cancelled run returns the context's error wrapped in the usual
+// run annotation — test with errors.Is(err, context.Canceled) — and leaves the
+// instance mid-replay; discard it rather than reusing it.
+func RunOnCtx(ctx context.Context, in *Instance, p workload.Profile, driveWrites int) (Result, error) {
 	gen := p.NewGenerator()
 	target := driveWrites * p.ExportedPages
 	e := trace.NewExpander(p.PageSize, p.ExportedPages)
+	// Background and other never-cancelled contexts report a nil Done channel:
+	// skip the select entirely so plain RunOn keeps its historical hot loop.
+	done := ctx.Done()
 	err := in.runOps(func(yield func(trace.PageOp) error) error {
 		for gen.PageWrites() < target {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := e.Expand(gen.Next(), yield); err != nil {
 				return err
 			}
